@@ -1,0 +1,101 @@
+package fivegsim
+
+import (
+	"time"
+
+	"fivegsim/internal/deploy"
+	"fivegsim/internal/handoff"
+	"fivegsim/internal/netsim"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rng"
+	"fivegsim/internal/transport"
+)
+
+// ablationBufferSizing returns Cubic's 5G utilization gain from doubling
+// the wired bottleneck buffer (the paper's §4.2 remedy).
+func ablationBufferSizing(cfg Config) float64 {
+	d := bulkDur(cfg)
+	small := netsim.DefaultPath(radio.NR, true)
+	big := small
+	big.BottleneckBufferBytes *= 2
+	u1 := transport.RunBulk(small, "cubic", d).ThroughputBps
+	u2 := transport.RunBulk(big, "cubic", d).ThroughputBps
+	if u1 == 0 {
+		return 0
+	}
+	return u2 / u1
+}
+
+// ablationSAHandoff returns how many times slower the NSA 5G→5G hand-off
+// is than the hypothetical standalone (direct Xn) hand-off.
+func ablationSAHandoff(cfg Config) float64 {
+	r := rng.New(cfg.Seed).Stream("ablation.sa")
+	var sa, nsa time.Duration
+	n := 500
+	if cfg.Quick {
+		n = 100
+	}
+	for i := 0; i < n; i++ {
+		sa += handoff.ExecuteSA(r)
+		_, total := handoff.Execute(handoff.FiveToFive, r)
+		nsa += total
+	}
+	return float64(nsa) / float64(sa)
+}
+
+// ablationA3Hysteresis runs a short campaign at the ISP's 3 dB gap and at
+// an aggressive 1 dB gap and returns the hand-off rate (per minute) at
+// 1 dB — the ping-pong cost of removing hysteresis.
+func ablationA3Hysteresis(cfg Config) float64 {
+	campus := deploy.New(cfg.Seed)
+	hcfg := handoff.DefaultConfig()
+	hcfg.Duration = 10 * time.Minute
+	if cfg.Quick {
+		hcfg.Duration = 4 * time.Minute
+	}
+	hcfg.A3.GapDB = 1
+	hcfg.A3.TimeToTrigger = 100 * time.Millisecond
+	camp := handoff.RunCampaign(campus, hcfg, cfg.Seed)
+	return float64(len(camp.Events)) / hcfg.Duration.Minutes()
+}
+
+// A3Sweep compares hand-off behaviour across trigger thresholds: events
+// per minute and the fraction of hand-offs that actually improved the
+// link by >3 dB.
+type A3Sweep struct {
+	GapDB      float64
+	HOsPerMin  float64
+	GoodHOFrac float64
+}
+
+// RunA3Sweep is the full hysteresis ablation used by the fgbench
+// extension experiments.
+func RunA3Sweep(cfg Config, gaps []float64) []A3Sweep {
+	campus := deploy.New(cfg.Seed)
+	var out []A3Sweep
+	for _, gap := range gaps {
+		hcfg := handoff.DefaultConfig()
+		hcfg.Duration = 10 * time.Minute
+		if cfg.Quick {
+			hcfg.Duration = 4 * time.Minute
+		}
+		hcfg.A3.GapDB = gap
+		camp := handoff.RunCampaign(campus, hcfg, cfg.Seed)
+		good := 0
+		for _, e := range camp.Events {
+			if e.Gain() > 3 {
+				good++
+			}
+		}
+		frac := 0.0
+		if len(camp.Events) > 0 {
+			frac = float64(good) / float64(len(camp.Events))
+		}
+		out = append(out, A3Sweep{
+			GapDB:      gap,
+			HOsPerMin:  float64(len(camp.Events)) / hcfg.Duration.Minutes(),
+			GoodHOFrac: frac,
+		})
+	}
+	return out
+}

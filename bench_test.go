@@ -1,0 +1,110 @@
+package fivegsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// Each benchmark regenerates one table or figure of the paper's
+// evaluation (quick fidelity: shorter flows, fewer samples — every
+// qualitative result is preserved). The headline metric of each
+// experiment is attached via b.ReportMetric so `go test -bench` output
+// doubles as a compact reproduction report.
+
+func benchExperiment(b *testing.B, id string, metric string) {
+	b.Helper()
+	cfg := QuickConfig()
+	var last Result
+	for i := 0; i < b.N; i++ {
+		res, err := Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	if metric != "" {
+		if v, ok := last.Values[metric]; ok {
+			// ReportMetric units must not contain whitespace.
+			b.ReportMetric(v, strings.ReplaceAll(metric, " ", "_"))
+		}
+	}
+}
+
+func BenchmarkTable1_PhysicalInfo(b *testing.B)      { benchExperiment(b, "T1", "rsrp5G") }
+func BenchmarkTable2_RSRPDistribution(b *testing.B)  { benchExperiment(b, "T2", "holes5G") }
+func BenchmarkTable3_BufferEstimation(b *testing.B)  { benchExperiment(b, "T3", "wired5G") }
+func BenchmarkTable4_EnergyModels(b *testing.B)      { benchExperiment(b, "T4", "Web/NR NSA") }
+func BenchmarkFigure2_CoverageMap(b *testing.B)      { benchExperiment(b, "F2", "radius5G") }
+func BenchmarkFigure3_IndoorOutdoorGap(b *testing.B) { benchExperiment(b, "F3", "drop5G") }
+func BenchmarkFigure4_HandoffRSRQTrace(b *testing.B) { benchExperiment(b, "F4", "hoIdx") }
+func BenchmarkFigure5_HandoffRSRQGap(b *testing.B)   { benchExperiment(b, "F5", "overall") }
+func BenchmarkFigure6_HandoffLatency(b *testing.B)   { benchExperiment(b, "F6", "latency5G-5G") }
+func BenchmarkFigure7_Throughput(b *testing.B)       { benchExperiment(b, "F7", "5G_bbr") }
+func BenchmarkFigure8_CwndEvolution(b *testing.B)    { benchExperiment(b, "F8", "cubicLossEvents") }
+func BenchmarkFigure9_LossVsLoad(b *testing.B)       { benchExperiment(b, "F9", "5G@1/2") }
+func BenchmarkFigure10_HARQRetx(b *testing.B)        { benchExperiment(b, "F10", "max5G") }
+func BenchmarkFigure11_BurstyLoss(b *testing.B)      { benchExperiment(b, "F11", "burstFrac") }
+func BenchmarkFigure12_HandoffThroughputDrop(b *testing.B) {
+	benchExperiment(b, "F12", "drop5G-5G")
+}
+func BenchmarkFigure13_RTTScatter(b *testing.B)    { benchExperiment(b, "F13", "oneWay5Gms") }
+func BenchmarkFigure14_HopBreakdown(b *testing.B)  { benchExperiment(b, "F14", "coreGapMs") }
+func BenchmarkFigure15_RTTvsDistance(b *testing.B) { benchExperiment(b, "F15", "") }
+func BenchmarkFigure16_PageLoadTime(b *testing.B)  { benchExperiment(b, "F16", "dlReduction") }
+func BenchmarkFigure17_ImagePLT(b *testing.B)      { benchExperiment(b, "F17", "") }
+func BenchmarkFigure18_VideoThroughput(b *testing.B) {
+	benchExperiment(b, "F18", "5G5.7Kstatic")
+}
+func BenchmarkFigure19_VideoFluctuation(b *testing.B) { benchExperiment(b, "F19", "freezes") }
+func BenchmarkFigure20_FrameDelay(b *testing.B)       { benchExperiment(b, "F20", "delay5Gms") }
+func BenchmarkFigure21_PowerBreakdown(b *testing.B)   { benchExperiment(b, "F21", "nrShare") }
+func BenchmarkFigure22_EnergyPerBit(b *testing.B)     { benchExperiment(b, "F22", "ratioAt50s") }
+func BenchmarkFigure23_EnergyTrace(b *testing.B)      { benchExperiment(b, "F23", "ratio") }
+
+// Ablation benches (the DESIGN.md extensions beyond the paper's figures).
+
+// BenchmarkAblation_BufferSizing verifies the §4.2 remedy: Cubic's 5G
+// throughput as the wired bottleneck buffer scales ×2.
+func BenchmarkAblation_BufferSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := ablationBufferSizing(QuickConfig())
+		b.ReportMetric(res, "util_gain_x")
+	}
+}
+
+// BenchmarkAblation_SAHandoff compares the hypothetical standalone-mode
+// hand-off against the measured NSA ladder.
+func BenchmarkAblation_SAHandoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(ablationSAHandoff(QuickConfig()), "nsa_over_sa_x")
+	}
+}
+
+// BenchmarkAblation_A3Hysteresis sweeps the hand-off trigger threshold
+// and reports the ping-pong ratio at the ISP's 3 dB setting.
+func BenchmarkAblation_A3Hysteresis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(ablationA3Hysteresis(QuickConfig()), "ho_per_min_at_1db")
+	}
+}
+
+// BenchmarkExtension_MPTCP pools the two radios with multipath TCP (the
+// paper's §6.3 future-work item).
+func BenchmarkExtension_MPTCP(b *testing.B) {
+	benchExperiment(b, "X8", "totalMbps")
+}
+
+// BenchmarkExtension_MEC runs the §8 edge-computing ablation.
+func BenchmarkExtension_MEC(b *testing.B) {
+	benchExperiment(b, "X2", "cubicGain")
+}
+
+// BenchmarkExtension_DSL runs the §8 5G-as-DSL feasibility study.
+func BenchmarkExtension_DSL(b *testing.B) {
+	benchExperiment(b, "X1", "perHouseMbps")
+}
+
+// BenchmarkExtension_RRCInactive measures the SA energy-state extension.
+func BenchmarkExtension_RRCInactive(b *testing.B) {
+	benchExperiment(b, "X6", "rrciJ")
+}

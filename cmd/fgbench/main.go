@@ -1,0 +1,62 @@
+// Command fgbench regenerates every table and figure of the paper's
+// evaluation from the simulated campaign.
+//
+// Usage:
+//
+//	fgbench                 # run everything at full fidelity
+//	fgbench -quick          # reduced durations (CI-friendly)
+//	fgbench -run F7,T4      # a subset
+//	fgbench -list           # enumerate experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fivegsim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-duration runs")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range fivegsim.Experiments() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := fivegsim.Config{Seed: *seed, Quick: *quick}
+	ids := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			ids[strings.TrimSpace(id)] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, e := range fivegsim.Experiments() {
+		if len(ids) > 0 && !ids[e.ID] {
+			continue
+		}
+		t0 := time.Now()
+		res := e.Run(cfg)
+		fmt.Print(res.Report())
+		fmt.Printf("  (%.1fs)\n\n", time.Since(t0).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "fgbench: no experiments matched -run; try -list")
+		os.Exit(1)
+	}
+	fmt.Printf("regenerated %d experiments in %.1fs (seed %d, quick=%v)\n",
+		ran, time.Since(start).Seconds(), *seed, *quick)
+}

@@ -1,0 +1,61 @@
+// Command fgcoverage runs the blanket walking survey over the simulated
+// campus and prints the Table 1/2 coverage statistics; with -csv it also
+// exports the XCAL-style KPI log of the survey.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fivegsim/internal/coverage"
+	"fivegsim/internal/dataset"
+	"fivegsim/internal/deploy"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/xcal"
+)
+
+func main() {
+	samples := flag.Int("samples", 4630, "survey sample count")
+	seed := flag.Int64("seed", 42, "seed")
+	csvPath := flag.String("csv", "", "write the KPI log to this CSV file")
+	flag.Parse()
+
+	campus := deploy.New(*seed)
+	survey := coverage.Run(campus, *samples, *seed)
+
+	fmt.Printf("campus: %.2f km², %d gNBs (%d NR cells), %d eNBs (%d LTE cells), %.3f km of roads\n",
+		campus.AreaKm2(), len(campus.NRSites), len(campus.NRCells),
+		len(campus.LTESites), len(campus.LTECells), campus.RoadLengthM()/1000)
+	for _, tech := range []radio.Tech{radio.LTE, radio.NR} {
+		s := survey.RSRPSummary(tech)
+		fmt.Printf("%v: RSRP %s dBm, coverage holes %.2f%%\n",
+			tech, s, 100*survey.HoleFraction(tech, false))
+		for _, b := range survey.RSRPDistribution(tech, false) {
+			fmt.Printf("    [%4.0f,%4.0f) dBm: %5.2f%%\n", b.Lo, b.Hi, 100*b.Frac(len(survey.Samples)))
+		}
+	}
+	fmt.Printf("5G usable radius (cell 72): %.0f m; 4G: %.0f m\n",
+		coverage.UsableRadius(campus, campus.CellByPCI(72)),
+		coverage.UsableRadius(campus, campus.CellByPCI(100)))
+
+	if *csvPath != "" {
+		logger := xcal.New()
+		for i, sm := range survey.Samples {
+			at := time.Duration(i) * 100 * time.Millisecond // walking cadence
+			logger.LogKPI(at, sm.Pos, sm.NR, radio.BandNR().PRBs)
+			logger.LogKPI(at, sm.Pos, sm.LTE, radio.BandLTE().PRBs)
+		}
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatalf("fgcoverage: %v", err)
+		}
+		defer f.Close()
+		if err := dataset.WriteCSV(f, xcal.KPIHeader(), logger.KPIRows()); err != nil {
+			log.Fatalf("fgcoverage: %v", err)
+		}
+		fmt.Printf("wrote %d KPI rows to %s\n", 2*len(survey.Samples), *csvPath)
+	}
+}

@@ -1,0 +1,64 @@
+// Command fgenergy is the pwrStrip-equivalent profiler: it replays a
+// workload trace under the four §6.3 power-management models, prints the
+// Table 4 comparison, and optionally exports the 100 ms battery trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"fivegsim/internal/dataset"
+	"fivegsim/internal/energy"
+	"fivegsim/internal/pwrstrip"
+	"fivegsim/internal/traffic"
+)
+
+func main() {
+	workload := flag.String("workload", "web", "web, video, or file")
+	seed := flag.Int64("seed", 42, "seed")
+	csvPath := flag.String("csv", "", "write the NSA pwrStrip trace to this CSV file")
+	flag.Parse()
+
+	var tr energy.Trace
+	switch *workload {
+	case "web":
+		tr = traffic.Web(*seed)
+	case "video":
+		tr = traffic.Video(*seed)
+	case "file":
+		tr = traffic.File(*seed)
+	default:
+		log.Fatalf("fgenergy: unknown workload %q (web, video, file)", *workload)
+	}
+	fmt.Printf("workload %q: %d MB over %v\n", *workload, tr.TotalBytes()>>20, tr.Duration())
+
+	var nsa energy.ReplayResult
+	for _, m := range energy.Models() {
+		r := energy.Replay(m, tr)
+		fmt.Printf("  %-12s %8.1f J over %8v", m, r.EnergyJ, r.Duration.Round(100*time.Millisecond))
+		if m == energy.ModelNSA {
+			nsa = r
+		}
+		fmt.Printf("  (active %v, C-DRX %v, idle %v)\n",
+			r.InState[energy.Active].Round(100*time.Millisecond),
+			r.InState[energy.CDRX].Round(100*time.Millisecond),
+			r.InState[energy.Idle].Round(100*time.Millisecond))
+	}
+
+	if *csvPath != "" {
+		recs := pwrstrip.Capture(nsa.Series, energy.SystemPowerW)
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatalf("fgenergy: %v", err)
+		}
+		defer f.Close()
+		if err := dataset.WriteCSV(f, pwrstrip.Header(), pwrstrip.Rows(recs)); err != nil {
+			log.Fatalf("fgenergy: %v", err)
+		}
+		fmt.Printf("wrote %d pwrStrip samples to %s (%.1f J integrated)\n",
+			len(recs), *csvPath, pwrstrip.EnergyJ(recs))
+	}
+}

@@ -1,0 +1,71 @@
+// Command fgho runs the walking hand-off campaign of §3.4 and prints the
+// Fig. 5/6 statistics; with -ladder it also dumps the full Fig. 24
+// signaling exchange of the first 5G→5G hand-off as XCAL-Mobile would.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"fivegsim/internal/deploy"
+	"fivegsim/internal/handoff"
+	"fivegsim/internal/stats"
+	"fivegsim/internal/xcal"
+)
+
+func main() {
+	minutes := flag.Int("minutes", 20, "campaign duration in minutes")
+	seed := flag.Int64("seed", 42, "seed")
+	ladder := flag.Bool("ladder", false, "dump the signaling ladder of the first 5G-5G hand-off")
+	flag.Parse()
+
+	campus := deploy.New(*seed)
+	cfg := handoff.DefaultConfig()
+	cfg.Duration = time.Duration(*minutes) * time.Minute
+	camp := handoff.RunCampaign(campus, cfg, *seed)
+
+	fmt.Printf("campaign: %v at 3–10 km/h, %d hand-off events\n", cfg.Duration, len(camp.Events))
+	for _, k := range []handoff.Kind{handoff.FourToFour, handoff.FiveToFive, handoff.FiveToFour, handoff.FourToFive} {
+		lat := camp.Latencies(k)
+		if len(lat) == 0 {
+			continue
+		}
+		gains := camp.Gains(k)
+		above := 0
+		for _, g := range gains {
+			if g > 3 {
+				above++
+			}
+		}
+		fmt.Printf("  %-5s: n=%3d  latency %s ms  RSRQ gain >3 dB in %.0f%%\n",
+			k, len(lat), stats.Summarize(lat), 100*float64(above)/float64(len(gains)))
+	}
+	total := 0
+	for _, v := range camp.MeasEvents {
+		total += v
+	}
+	fmt.Print("measurement-event mix: ")
+	for _, e := range []handoff.EventType{handoff.A1, handoff.A2, handoff.A3, handoff.A5, handoff.B1} {
+		if c := camp.MeasEvents[e]; c > 0 {
+			fmt.Printf("%v %.1f%%  ", e, 100*float64(c)/float64(total))
+		}
+	}
+	fmt.Println()
+
+	if *ladder {
+		for _, e := range camp.Events {
+			if e.Kind != handoff.FiveToFive {
+				continue
+			}
+			logger := xcal.New()
+			logger.LogHandoff(e)
+			fmt.Printf("\nFig. 24 ladder of the %v hand-off at %v (PCI %d → %d, %v total):\n",
+				e.Kind, e.At.Round(time.Second), e.FromPCI, e.ToPCI, e.Latency.Round(time.Millisecond))
+			for _, row := range logger.SignalingRows() {
+				fmt.Printf("  t=%7s ms  %-45s %s\n", row[0], row[1], row[2])
+			}
+			break
+		}
+	}
+}

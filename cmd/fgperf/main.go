@@ -1,0 +1,84 @@
+// Command fgperf is the iperf3-equivalent load generator for the
+// simulated paths: UDP baselines, rate sweeps, and TCP bulk flows under
+// any of the five congestion-control algorithms.
+//
+//	fgperf -tech 5g -cc bbr -t 20s
+//	fgperf -tech 4g -udp -rate 100M -t 10s
+//	fgperf -tech 5g -udp -baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"fivegsim/internal/cc"
+	"fivegsim/internal/netsim"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/transport"
+)
+
+func main() {
+	techFlag := flag.String("tech", "5g", "radio technology: 4g or 5g")
+	ccName := flag.String("cc", "bbr", "congestion control: "+strings.Join(cc.Names(), ", "))
+	udp := flag.Bool("udp", false, "run UDP instead of TCP")
+	baseline := flag.Bool("baseline", false, "with -udp: measure the peak deliverable rate")
+	rate := flag.String("rate", "500M", "with -udp: offered rate, e.g. 250M or 1G")
+	duration := flag.Duration("t", 15*time.Second, "run duration")
+	night := flag.Bool("night", false, "late-night load profile")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	tech := radio.NR
+	if strings.EqualFold(*techFlag, "4g") || strings.EqualFold(*techFlag, "lte") {
+		tech = radio.LTE
+	}
+	cfg := netsim.DefaultPath(tech, !*night)
+	cfg.Seed = *seed
+
+	switch {
+	case *udp && *baseline:
+		r := netsim.UDPBaseline(cfg, *duration)
+		fmt.Printf("%v UDP baseline: %.1f Mb/s (loss %.2f%%, offered %.1f Mb/s)\n",
+			tech, r.DeliveredBps/1e6, 100*r.LossRate, r.OfferedBps/1e6)
+	case *udp:
+		bps, err := parseRate(*rate)
+		if err != nil {
+			log.Fatalf("fgperf: %v", err)
+		}
+		r := netsim.RunUDP(cfg, bps, *duration, false)
+		fmt.Printf("%v UDP at %.1f Mb/s for %v: delivered %.1f Mb/s, loss %.2f%%\n",
+			tech, bps/1e6, *duration, r.DeliveredBps/1e6, 100*r.LossRate)
+	default:
+		if cc.New(*ccName) == nil {
+			log.Fatalf("fgperf: unknown congestion control %q (have %s)", *ccName, strings.Join(cc.Names(), ", "))
+		}
+		r := transport.RunBulk(cfg, *ccName, *duration)
+		fmt.Printf("%v TCP/%s for %v:\n", tech, *ccName, *duration)
+		fmt.Printf("  throughput:      %.1f Mb/s (%.1f%% of the radio goodput)\n",
+			r.ThroughputBps/1e6, 100*r.ThroughputBps/cfg.RANRateBps)
+		fmt.Printf("  retransmissions: %d (loss events %d, RTOs %d)\n", r.Retransmits, r.LossEvents, r.RTOs)
+		fmt.Printf("  smoothed RTT:    %v\n", r.MeanRTT.Round(time.Millisecond))
+	}
+}
+
+// parseRate parses "880M", "1.2G", "5000000".
+func parseRate(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1e9, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1e6, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1e3, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad rate %q", s)
+	}
+	return v * mult, nil
+}

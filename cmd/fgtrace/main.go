@@ -1,0 +1,52 @@
+// Command fgtrace is the traceroute-equivalent prober: it measures RTTs
+// to the paper's Table 6 SPEEDTEST servers over both radios and prints
+// the per-hop breakdown of the example path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"fivegsim/internal/radio"
+	"fivegsim/internal/stats"
+	"fivegsim/internal/wire"
+)
+
+func main() {
+	probes := flag.Int("n", 30, "probes per server")
+	seed := flag.Int64("seed", 42, "seed")
+	hops := flag.Bool("hops", false, "print the per-hop breakdown instead")
+	flag.Parse()
+
+	if *hops {
+		nr := wire.HopBreakdown(radio.NR, *seed)
+		lte := wire.HopBreakdown(radio.LTE, *seed)
+		fmt.Println("hop   4G RTT      5G RTT")
+		for i := range nr {
+			fmt.Printf("%3d   %8v   %8v\n", nr[i].Hop,
+				lte[i].RTT.Round(10*time.Microsecond), nr[i].RTT.Round(10*time.Microsecond))
+		}
+		return
+	}
+
+	fmt.Printf("%-38s %9s %12s %12s\n", "server", "km", "4G RTT", "5G RTT")
+	var gaps []float64
+	for _, s := range wire.Servers {
+		p4 := wire.MeasureServer(radio.LTE, s, *probes, *seed)
+		p5 := wire.MeasureServer(radio.NR, s, *probes, *seed+1)
+		m4 := meanMs(p4)
+		m5 := meanMs(p5)
+		gaps = append(gaps, m4-m5)
+		fmt.Printf("%-38s %9.1f %9.1f ms %9.1f ms\n", s.Name, s.DistanceKm, m4, m5)
+	}
+	fmt.Printf("mean 4G−5G RTT gap: %s ms (paper: 22.3 ± 3.57 ms)\n", stats.Summarize(gaps))
+}
+
+func meanMs(ps []wire.Probe) float64 {
+	var sum float64
+	for _, p := range ps {
+		sum += float64(p.RTT) / float64(time.Millisecond)
+	}
+	return sum / float64(len(ps))
+}

@@ -1,0 +1,55 @@
+// Energy saver: replay the three §6.3 workloads under the four
+// power-management models, reproduce the Fig. 23 double-tail showcase,
+// and export a pwrStrip battery trace.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fivegsim/internal/energy"
+	"fivegsim/internal/pwrstrip"
+	"fivegsim/internal/traffic"
+)
+
+func main() {
+	workloads := []struct {
+		name  string
+		trace energy.Trace
+	}{
+		{"web", traffic.Web(42)},
+		{"video", traffic.Video(42)},
+		{"file", traffic.File(42)},
+	}
+	for _, w := range workloads {
+		fmt.Printf("%-5s (%d MB):", w.name, w.trace.TotalBytes()>>20)
+		for _, m := range energy.Models() {
+			r := energy.Replay(m, w.trace)
+			fmt.Printf("  %s %.0fJ", m, r.EnergyJ)
+		}
+		fmt.Println()
+	}
+
+	// The Fig. 23 showcase: ten web loads, 3 s apart.
+	tr := energy.Trace{BinDur: 100 * time.Millisecond, Bytes: make([]int64, 320)}
+	for l := 0; l < 10; l++ {
+		for k := 0; k < 3; k++ {
+			tr.Bytes[l*30+k] = 1 << 20
+		}
+	}
+	lte, nsa, m := energy.Showcase(tr)
+	fmt.Printf("\nweb session showcase: 5G %.1f J vs 4G %.1f J (%.2f×)\n",
+		nsa.EnergyJ, lte.EnergyJ, nsa.EnergyJ/lte.EnergyJ)
+	fmt.Printf("tails after the last load: 4G %.1f s, 5G %.1f s — the NSA double tail\n",
+		(m.LTETailEnd - m.TransferEnd).Seconds(), (m.NRTailEnd - m.TransferEnd).Seconds())
+
+	recs := pwrstrip.Capture(nsa.Series, energy.SystemPowerW)
+	peak := 0.0
+	for _, r := range recs {
+		if p := r.PowerW(); p > peak {
+			peak = p
+		}
+	}
+	fmt.Printf("pwrStrip: %d samples at 100 ms, peak %.2f W, integrated %.1f J\n",
+		len(recs), peak, pwrstrip.EnergyJ(recs))
+}

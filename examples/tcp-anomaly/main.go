@@ -1,0 +1,40 @@
+// TCP anomaly: the paper's headline transport result. Run all five
+// congestion-control algorithms over the simulated 5G and 4G paths, show
+// the 5G collapse of loss/delay-based TCP, and verify the paper's two
+// remedies: BBR, and doubling the wired bottleneck buffer.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fivegsim/internal/cc"
+	"fivegsim/internal/netsim"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/transport"
+)
+
+func main() {
+	const dur = 12 * time.Second
+	for _, tech := range []radio.Tech{radio.NR, radio.LTE} {
+		cfg := netsim.DefaultPath(tech, true)
+		baseline := netsim.UDPBaseline(cfg, 8*time.Second).DeliveredBps
+		fmt.Printf("%v UDP baseline: %.0f Mb/s\n", tech, baseline/1e6)
+		for _, name := range cc.Names() {
+			r := transport.RunBulk(cfg, name, dur)
+			fmt.Printf("  %-6s %6.1f Mb/s  utilization %5.1f%%\n",
+				name, r.ThroughputBps/1e6, 100*r.Utilization(baseline))
+		}
+	}
+
+	// Remedy: "the buffer size in the wired network part should be
+	// increased 2× to accommodate 5G" (§4.2).
+	small := netsim.DefaultPath(radio.NR, true)
+	big := small
+	big.BottleneckBufferBytes *= 2
+	u1 := transport.RunBulk(small, "cubic", dur)
+	u2 := transport.RunBulk(big, "cubic", dur)
+	fmt.Printf("\nbuffer-sizing remedy (cubic over 5G): %.0f Mb/s → %.0f Mb/s with a 2× wired buffer\n",
+		u1.ThroughputBps/1e6, u2.ThroughputBps/1e6)
+	fmt.Println("(the other remedy is visible above: BBR, which probes capacity instead of reacting to loss)")
+}

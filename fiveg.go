@@ -1,0 +1,118 @@
+// Package fivegsim reproduces "Understanding Operational 5G: A First
+// Measurement Study on Its Coverage, Performance and Energy Consumption"
+// (SIGCOMM 2020) as a calibrated simulation study.
+//
+// The package exposes the paper's measurement campaign as a registry of
+// experiments, one per table and figure of the evaluation. Each experiment
+// drives the substrates in internal/ (radio, deployment, packet-level
+// network simulation, real congestion-control implementations, application
+// models and the RRC/DRX energy machine) and renders the same rows and
+// series the paper reports:
+//
+//	res, err := fivegsim.Run("F7", fivegsim.DefaultConfig())
+//	fmt.Println(res.Report())
+//
+// Use Experiments to enumerate everything, or the cmd/fgbench binary to
+// regenerate the full set.
+package fivegsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config parametrizes an experiment run.
+type Config struct {
+	// Seed keys all randomness; a fixed seed reproduces a run exactly.
+	Seed int64
+	// Quick trades statistical depth for speed (shorter flows, fewer
+	// samples) while preserving every qualitative result. Benchmarks and
+	// CI use Quick; the full campaign uses !Quick.
+	Quick bool
+}
+
+// DefaultConfig returns the full-fidelity configuration with the
+// canonical seed.
+func DefaultConfig() Config { return Config{Seed: 42} }
+
+// QuickConfig returns the reduced-duration configuration.
+func QuickConfig() Config { return Config{Seed: 42, Quick: true} }
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID    string
+	Title string
+	// Lines is the formatted table/series, one row per line, with the
+	// paper's reference values alongside the measured ones.
+	Lines []string
+	// Values holds the headline metrics by name for programmatic checks.
+	Values map[string]float64
+}
+
+// Report renders the result as text.
+func (r Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString("  " + l + "\n")
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) Result
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(cfg Config) Result) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// Experiments lists every registered experiment in paper order.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+// orderKey sorts T1..T4, then F2..F23, then the X extensions.
+func orderKey(id string) int {
+	var n int
+	fmt.Sscanf(id[1:], "%d", &n)
+	switch id[0] {
+	case 'T':
+		return n
+	case 'F':
+		return 100 + n
+	default:
+		return 200 + n
+	}
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (Result, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(cfg), nil
+		}
+	}
+	return Result{}, fmt.Errorf("fivegsim: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment and returns the results in paper order.
+func RunAll(cfg Config) []Result {
+	exps := Experiments()
+	out := make([]Result, 0, len(exps))
+	for _, e := range exps {
+		out = append(out, e.Run(cfg))
+	}
+	return out
+}
+
+// line is a small fmt.Sprintf helper used by the experiment files.
+func line(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }

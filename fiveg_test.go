@@ -1,0 +1,91 @@
+package fivegsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
+	want := []string{
+		"T1", "T2", "T3", "T4",
+		"F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12",
+		"F13", "F14", "F15", "F16", "F17", "F18", "F19", "F20", "F21", "F22", "F23",
+		"X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8",
+	}
+	got := map[string]bool{}
+	for _, e := range Experiments() {
+		got[e.ID] = true
+		if e.Title == "" {
+			t.Errorf("%s: empty title", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %s missing from the registry", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(got), len(want))
+	}
+}
+
+func TestExperimentsOrdered(t *testing.T) {
+	exps := Experiments()
+	for i := 1; i < len(exps); i++ {
+		if orderKey(exps[i].ID) < orderKey(exps[i-1].ID) {
+			t.Fatalf("experiments out of order: %s before %s", exps[i-1].ID, exps[i].ID)
+		}
+	}
+	if exps[0].ID != "T1" {
+		t.Fatalf("first experiment = %s", exps[0].ID)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("F99", QuickConfig()); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestQuickCheapExperiments(t *testing.T) {
+	// The fast experiments run end-to-end through the facade and report
+	// plausible headline values.
+	cfg := QuickConfig()
+	t1, err := Run("T1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Values["cells5G"] != 13 || t1.Values["cells4G"] != 34 {
+		t.Fatalf("T1 cell counts wrong: %+v", t1.Values)
+	}
+	if t1.Values["rsrp5G"] > -75 || t1.Values["rsrp5G"] < -95 {
+		t.Fatalf("T1 5G RSRP = %.1f", t1.Values["rsrp5G"])
+	}
+	f2, _ := Run("F2", cfg)
+	if f2.Values["radius5G"] >= f2.Values["radius4G"] {
+		t.Fatal("F2: 5G radius must be below 4G radius")
+	}
+	f22, _ := Run("F22", cfg)
+	if f22.Values["ratioAt50s"] < 2.2 {
+		t.Fatalf("F22 ratio = %.1f", f22.Values["ratioAt50s"])
+	}
+	f23, _ := Run("F23", cfg)
+	if f23.Values["ratio"] < 1.2 || f23.Values["nrTailS"] < 1.6*f23.Values["lteTailS"] {
+		t.Fatalf("F23 values implausible: %+v", f23.Values)
+	}
+	t4, _ := Run("T4", cfg)
+	if t4.Values["File/LTE"] <= t4.Values["File/NR NSA"] {
+		t.Fatal("T4: file transfer must favor 5G")
+	}
+	if t4.Values["Web/LTE"] >= t4.Values["Web/NR NSA"] {
+		t.Fatal("T4: web must favor 4G")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := Result{ID: "T1", Title: "x", Lines: []string{"a", "b"}}
+	rep := r.Report()
+	if !strings.Contains(rep, "== T1: x ==") || !strings.Contains(rep, "  a\n  b\n") {
+		t.Fatalf("report = %q", rep)
+	}
+}

@@ -1,0 +1,3 @@
+module fivegsim
+
+go 1.22

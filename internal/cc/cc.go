@@ -1,0 +1,58 @@
+// Package cc implements the five congestion-control algorithms the paper
+// evaluates over 5G (§4.1): the loss-based Reno and Cubic, the delay-based
+// Vegas and the loss/delay hybrid Veno, and the capacity-probing BBR. All
+// are window/pacing algorithms driven by the transport engine in
+// internal/transport.
+package cc
+
+import "time"
+
+// Controller is the interface the TCP sender drives. All byte quantities
+// are in bytes; rates in bits/s.
+type Controller interface {
+	// Name identifies the algorithm ("cubic", "bbr", …).
+	Name() string
+	// OnAck is called for every ACK that advances the window.
+	OnAck(now time.Duration, ackedBytes int, rtt time.Duration, inflight int)
+	// OnLoss is called once per loss event (fast retransmit), not per
+	// lost packet.
+	OnLoss(now time.Duration, inflight int)
+	// OnRTO is called on a retransmission timeout.
+	OnRTO(now time.Duration)
+	// Cwnd returns the congestion window in bytes.
+	Cwnd() int
+	// PacingRate returns the sender pacing rate in bits/s, or 0 when the
+	// algorithm is purely window/ACK-clocked.
+	PacingRate() float64
+}
+
+// Constants shared by the algorithms.
+const (
+	// SegBytes is the segment size assumed for window arithmetic.
+	SegBytes = 1400
+	// InitialWindow is the standard 10-segment initial window.
+	InitialWindow = 10 * SegBytes
+	// MinWindow is the post-RTO floor.
+	MinWindow = 2 * SegBytes
+)
+
+// New constructs a controller by name. Supported: reno, cubic, vegas,
+// veno, bbr.
+func New(name string) Controller {
+	switch name {
+	case "reno":
+		return NewReno()
+	case "cubic":
+		return NewCubic()
+	case "vegas":
+		return NewVegas()
+	case "veno":
+		return NewVeno()
+	case "bbr":
+		return NewBBR()
+	}
+	return nil
+}
+
+// Names lists the implemented algorithms in the paper's order.
+func Names() []string { return []string{"reno", "cubic", "vegas", "veno", "bbr"} }

@@ -1,0 +1,51 @@
+package cc
+
+import "time"
+
+// Reno is classic NewReno AIMD: slow start to ssthresh, then one segment
+// per RTT of additive increase; multiplicative decrease by half on loss.
+type Reno struct {
+	cwnd     float64
+	ssthresh float64
+}
+
+// NewReno returns a Reno controller.
+func NewReno() *Reno {
+	return &Reno{cwnd: InitialWindow, ssthresh: 1 << 30}
+}
+
+// Name implements Controller.
+func (r *Reno) Name() string { return "reno" }
+
+// OnAck implements Controller.
+func (r *Reno) OnAck(now time.Duration, acked int, rtt time.Duration, inflight int) {
+	if r.cwnd < r.ssthresh {
+		r.cwnd += float64(acked) // slow start: exponential growth
+	} else {
+		r.cwnd += float64(SegBytes) * float64(acked) / r.cwnd // ≈1 MSS per RTT
+	}
+}
+
+// OnLoss implements Controller.
+func (r *Reno) OnLoss(now time.Duration, inflight int) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < MinWindow {
+		r.ssthresh = MinWindow
+	}
+	r.cwnd = r.ssthresh
+}
+
+// OnRTO implements Controller.
+func (r *Reno) OnRTO(now time.Duration) {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < MinWindow {
+		r.ssthresh = MinWindow
+	}
+	r.cwnd = MinWindow
+}
+
+// Cwnd implements Controller.
+func (r *Reno) Cwnd() int { return int(r.cwnd) }
+
+// PacingRate implements Controller (Reno is ACK-clocked).
+func (r *Reno) PacingRate() float64 { return 0 }

@@ -1,0 +1,97 @@
+package cc
+
+import "time"
+
+// Vegas is the classic delay-based algorithm: it compares the expected
+// throughput (cwnd/baseRTT) with the actual (cwnd/RTT) and keeps the
+// difference — its own queue occupancy — between alpha and beta packets.
+// Over 5G the paper measures Vegas at 12.1 % utilization: cross-traffic
+// queueing at the legacy bottleneck inflates RTT, which Vegas reads as its
+// own congestion (§4.1).
+type Vegas struct {
+	cwnd    float64
+	baseRTT time.Duration
+	// per-RTT accounting
+	rttMin  time.Duration
+	nextAdj time.Duration
+	inSS    bool
+}
+
+// Vegas thresholds in packets (α=4, β=7, γ=2, the scaled variants Linux
+// uses at large windows).
+const (
+	vegasAlpha = 4
+	vegasBeta  = 7
+	vegasGamma = 2
+)
+
+// NewVegas returns a Vegas controller.
+func NewVegas() *Vegas {
+	return &Vegas{cwnd: InitialWindow, inSS: true}
+}
+
+// Name implements Controller.
+func (v *Vegas) Name() string { return "vegas" }
+
+// OnAck implements Controller.
+func (v *Vegas) OnAck(now time.Duration, acked int, rtt time.Duration, inflight int) {
+	if v.baseRTT == 0 || rtt < v.baseRTT {
+		v.baseRTT = rtt
+	}
+	if v.rttMin == 0 || rtt < v.rttMin {
+		v.rttMin = rtt
+	}
+	if now < v.nextAdj {
+		if v.inSS {
+			v.cwnd += float64(acked) / 2 // Vegas slow start: every other RTT
+		}
+		return
+	}
+	// Once per RTT: evaluate the diff in packets.
+	rttUse := v.rttMin
+	if rttUse == 0 {
+		rttUse = rtt
+	}
+	expected := v.cwnd / v.baseRTT.Seconds()
+	actual := v.cwnd / rttUse.Seconds()
+	diff := (expected - actual) * v.baseRTT.Seconds() / SegBytes
+	if v.inSS {
+		if diff > vegasGamma {
+			v.inSS = false
+			v.cwnd -= (expected - actual) * v.baseRTT.Seconds() / 8
+		}
+	} else {
+		switch {
+		case diff < vegasAlpha:
+			v.cwnd += SegBytes
+		case diff > vegasBeta:
+			v.cwnd -= SegBytes
+		}
+	}
+	if v.cwnd < MinWindow {
+		v.cwnd = MinWindow
+	}
+	v.rttMin = 0
+	v.nextAdj = now + rttUse
+}
+
+// OnLoss implements Controller.
+func (v *Vegas) OnLoss(now time.Duration, inflight int) {
+	v.cwnd *= 0.75 // Vegas reacts mildly to loss
+	if v.cwnd < MinWindow {
+		v.cwnd = MinWindow
+	}
+	v.inSS = false
+}
+
+// OnRTO implements Controller.
+func (v *Vegas) OnRTO(now time.Duration) {
+	v.cwnd = MinWindow
+	v.inSS = false
+}
+
+// Cwnd implements Controller.
+func (v *Vegas) Cwnd() int { return int(v.cwnd) }
+
+// PacingRate implements Controller.
+func (v *Vegas) PacingRate() float64 { return 0 }

@@ -1,0 +1,80 @@
+package cc
+
+import "time"
+
+// Veno combines Reno's loss response with Vegas's queue estimate: when a
+// loss occurs while the estimated backlog is small, the loss is deemed
+// random and the window is cut by only 1/5; otherwise it halves. Its
+// additive increase also slows once the backlog passes beta.
+type Veno struct {
+	cwnd     float64
+	ssthresh float64
+	baseRTT  time.Duration
+	lastRTT  time.Duration
+}
+
+const venoBeta = 3 // packets of estimated backlog
+
+// NewVeno returns a Veno controller.
+func NewVeno() *Veno {
+	return &Veno{cwnd: InitialWindow, ssthresh: 1 << 30}
+}
+
+// Name implements Controller.
+func (v *Veno) Name() string { return "veno" }
+
+// diff returns the Vegas-style backlog estimate in packets.
+func (v *Veno) diff() float64 {
+	if v.baseRTT == 0 || v.lastRTT == 0 {
+		return 0
+	}
+	expected := v.cwnd / v.baseRTT.Seconds()
+	actual := v.cwnd / v.lastRTT.Seconds()
+	return (expected - actual) * v.baseRTT.Seconds() / SegBytes
+}
+
+// OnAck implements Controller.
+func (v *Veno) OnAck(now time.Duration, acked int, rtt time.Duration, inflight int) {
+	if v.baseRTT == 0 || rtt < v.baseRTT {
+		v.baseRTT = rtt
+	}
+	v.lastRTT = rtt
+	if v.cwnd < v.ssthresh {
+		v.cwnd += float64(acked)
+		return
+	}
+	if v.diff() < venoBeta {
+		v.cwnd += float64(SegBytes) * float64(acked) / v.cwnd
+	} else {
+		// Available bandwidth fully used: increase every other RTT.
+		v.cwnd += float64(SegBytes) * float64(acked) / (2 * v.cwnd)
+	}
+}
+
+// OnLoss implements Controller.
+func (v *Veno) OnLoss(now time.Duration, inflight int) {
+	if v.diff() < venoBeta {
+		v.ssthresh = v.cwnd * 4 / 5 // random loss: mild cut
+	} else {
+		v.ssthresh = v.cwnd / 2 // congestive loss: Reno cut
+	}
+	if v.ssthresh < MinWindow {
+		v.ssthresh = MinWindow
+	}
+	v.cwnd = v.ssthresh
+}
+
+// OnRTO implements Controller.
+func (v *Veno) OnRTO(now time.Duration) {
+	v.ssthresh = v.cwnd / 2
+	if v.ssthresh < MinWindow {
+		v.ssthresh = MinWindow
+	}
+	v.cwnd = MinWindow
+}
+
+// Cwnd implements Controller.
+func (v *Veno) Cwnd() int { return int(v.cwnd) }
+
+// PacingRate implements Controller.
+func (v *Veno) PacingRate() float64 { return 0 }

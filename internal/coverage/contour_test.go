@@ -1,0 +1,35 @@
+package coverage
+
+import (
+	"testing"
+
+	"fivegsim/internal/deploy"
+)
+
+func TestCellContourShape(t *testing.T) {
+	c := deploy.New(42)
+	cell := c.CellByPCI(72)
+	rings := CellContour(c, cell, 40, 320, 7)
+	if len(rings) != 8 {
+		t.Fatalf("rings = %d", len(rings))
+	}
+	// Fig. 2b shape: bit-rate decreases outward; the cell becomes unusable
+	// beyond its ≈230 m radius.
+	if rings[0].MeanBps < rings[5].MeanBps {
+		t.Fatalf("inner ring (%.0f Mb/s) should beat ring 5 (%.0f Mb/s)",
+			rings[0].MeanBps/1e6, rings[5].MeanBps/1e6)
+	}
+	if rings[0].UsableFrac < 0.9 {
+		t.Fatalf("inner ring usable fraction = %.2f", rings[0].UsableFrac)
+	}
+	last := rings[len(rings)-1]
+	if last.UsableFrac > 0.4 {
+		t.Fatalf("ring beyond the service radius still %.0f%% usable", 100*last.UsableFrac)
+	}
+	// Near-cell bit-rate approaches Gbps inside the sector's field of
+	// view; the ring mean includes back-lobe samples, so the bar is lower
+	// than the 1000–1200 Mb/s contour bands of Fig. 2b.
+	if rings[0].MeanBps < 450e6 {
+		t.Fatalf("inner-ring bit-rate = %.0f Mb/s", rings[0].MeanBps/1e6)
+	}
+}

@@ -1,0 +1,39 @@
+// Package dataset writes the released-dataset artifacts (CSV/JSON) so the
+// simulated campaign can be exported in the same spirit as the paper's
+// public data release [68].
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes a header plus rows.
+func WriteCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("dataset: row %d has %d fields, header has %d", i, len(row), len(header))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes v as indented JSON.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("dataset: encode json: %w", err)
+	}
+	return nil
+}

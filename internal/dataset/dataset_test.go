@@ -1,0 +1,36 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestWriteCSVRowWidthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Fatal("want error on row width mismatch")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"x\": 1") {
+		t.Fatalf("json = %q", buf.String())
+	}
+}

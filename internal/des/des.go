@@ -1,0 +1,136 @@
+// Package des implements a deterministic discrete-event scheduler.
+//
+// All simulations in fivegsim run on simulated time. Events are ordered by
+// (time, sequence) so that two events scheduled for the same instant fire in
+// scheduling order, which keeps runs reproducible.
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. A nil Timer is also a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.ev != nil && !t.ev.canceled && !t.ev.fired() }
+
+func (e *event) fired() bool { return e.fn == nil }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; simulations are written in the callback style.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+}
+
+// New returns a scheduler with the clock at zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn to run at the absolute simulated time at. Times in the
+// past are clamped to the present.
+func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending reports the number of events still queued (including canceled
+// events that have not yet been reaped).
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// step executes the next event. It reports false when the queue is empty.
+func (s *Scheduler) step(limit time.Duration, bounded bool) bool {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if bounded && next.at > limit {
+			return false
+		}
+		heap.Pop(&s.queue)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		fn := next.fn
+		next.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.step(0, false) {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline. Events scheduled beyond the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.stopped = false
+	for !s.stopped && s.step(deadline, true) {
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

@@ -1,0 +1,76 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventsFireInTimeOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		var fired []time.Duration
+		count := int(n%64) + 1
+		for i := 0; i < count; i++ {
+			d := time.Duration(r.Intn(1_000_000)) * time.Microsecond
+			s.At(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != count {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilNeverExceedsDeadlineProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		deadline := time.Duration(r.Intn(1000)+1) * time.Millisecond
+		ok := true
+		for i := 0; i < 50; i++ {
+			s.At(time.Duration(r.Intn(2000))*time.Millisecond, func() {
+				if s.Now() > deadline {
+					ok = false
+				}
+			})
+		}
+		s.RunUntil(deadline)
+		return ok && s.Now() == deadline
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := New()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	tick()
+	s.Run()
+}
+
+func BenchmarkSchedulerFanOut(b *testing.B) {
+	// Heap behaviour with many pending events.
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.At(time.Duration(i%1000)*time.Millisecond, func() {})
+	}
+	b.ResetTimer()
+	s.Run()
+}

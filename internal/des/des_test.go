@@ -1,0 +1,132 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.After(1*time.Millisecond, func() { got = append(got, 1) })
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v, want 3ms", s.Now())
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(time.Second, tick)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before firing")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("timer should be inactive after cancel")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", s.Now())
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s (clock advances to deadline)", s.Now())
+	}
+}
+
+func TestSchedulerPastEventClamped(t *testing.T) {
+	s := New()
+	var at time.Duration = -1
+	s.At(5*time.Second, func() {
+		s.At(time.Second, func() { at = s.Now() }) // in the past: clamp to now
+	})
+	s.Run()
+	if at != 5*time.Second {
+		t.Fatalf("past event ran at %v, want clamped to 5s", at)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		s.At(time.Duration(i)*time.Second, func() {
+			n++
+			if i == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events before stop, want 3", n)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}

@@ -1,0 +1,293 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fivegsim/internal/radio"
+)
+
+func TestTable7Parameters(t *testing.T) {
+	nr, lte := ParamsFor(radio.NR), ParamsFor(radio.LTE)
+	// Table 7 exact values.
+	if nr.Tidle != 1280*time.Millisecond || nr.Ton != 10*time.Millisecond {
+		t.Fatal("paging DRX parameters wrong")
+	}
+	if lte.TPro != 623*time.Millisecond || nr.TPro != 1681*time.Millisecond {
+		t.Fatal("promotion delays wrong (Table 7: 623 / 1681 ms)")
+	}
+	if nr.T4r5r != 1238*time.Millisecond {
+		t.Fatal("LTE→NR activation delay wrong (1238 ms)")
+	}
+	if lte.Ttail != 10720*time.Millisecond || nr.Ttail != 21440*time.Millisecond {
+		t.Fatal("tails wrong (Table 7: 10720 / 21440 ms)")
+	}
+	if nr.Ttail != 2*lte.Ttail {
+		t.Fatal("the NSA tail must be twice the LTE tail (the double-tail effect)")
+	}
+	if lte.Tinac != 80*time.Millisecond || nr.Tinac != 100*time.Millisecond {
+		t.Fatal("inactivity timers wrong (80/100 ms)")
+	}
+}
+
+func TestSaturatedPowerRatio(t *testing.T) {
+	// §6.1: the 5G module consumes 2–3× the 4G module.
+	ratio := PowerFor(radio.NR).SaturatedPowerW() / PowerFor(radio.LTE).SaturatedPowerW()
+	if ratio < 1.9 || ratio > 3.2 {
+		t.Fatalf("5G/4G saturated power ratio = %.2f, paper reports 2–3×", ratio)
+	}
+}
+
+func webTrace() Trace {
+	// A deterministic miniature of traffic.Web (kept local to avoid an
+	// import cycle in tests): 10 sessions of 5 loads.
+	const bins = 3000
+	tr := Trace{BinDur: 100 * time.Millisecond, Bytes: make([]int64, bins+1)}
+	for s := 0; s < 10; s++ {
+		for l := 0; l < 5; l++ {
+			start := s*300 + l*30
+			for k := 0; k < 3; k++ {
+				tr.Bytes[start+k] += 1 << 20
+			}
+		}
+	}
+	return tr
+}
+
+func videoTrace() Trace {
+	bins := 1200
+	tr := Trace{BinDur: 100 * time.Millisecond, Bytes: make([]int64, bins)}
+	for i := range tr.Bytes {
+		tr.Bytes[i] = int64(112e6 / 8 / 10)
+	}
+	return tr
+}
+
+func fileTrace() Trace {
+	total := int64(2850) << 20
+	perBin := int64(50) << 20
+	tr := Trace{BinDur: 100 * time.Millisecond, Bytes: make([]int64, int(total/perBin)+1)}
+	for i := range tr.Bytes {
+		b := perBin
+		if total < perBin {
+			b = total
+		}
+		tr.Bytes[i] = b
+		total -= b
+	}
+	return tr
+}
+
+func TestTable4Orderings(t *testing.T) {
+	traces := map[string]Trace{"web": webTrace(), "video": videoTrace(), "file": fileTrace()}
+	for name, tr := range traces {
+		e := map[Model]float64{}
+		for _, m := range Models() {
+			e[m] = Replay(m, tr).EnergyJ
+			if e[m] <= 0 {
+				t.Fatalf("%s/%v: non-positive energy", name, m)
+			}
+		}
+		// Oracle always beats NSA, by a bounded margin (§6.3: optimizing
+		// the protocol alone provides marginal benefits).
+		saving := 1 - e[ModelOracle]/e[ModelNSA]
+		if saving < 0.02 || saving > 0.45 {
+			t.Errorf("%s: oracle saving = %.1f%%, paper reports 11–16%%", name, 100*saving)
+		}
+		switch name {
+		case "web":
+			// Table 4: LTE wins for unsaturated web; dyn ≈ LTE.
+			if e[ModelLTE] >= e[ModelNSA] {
+				t.Errorf("web: LTE (%.0fJ) must beat NSA (%.0fJ)", e[ModelLTE], e[ModelNSA])
+			}
+			ratio := e[ModelNSA] / e[ModelLTE]
+			if ratio < 1.15 || ratio > 1.9 {
+				t.Errorf("web NSA/LTE = %.2f, paper 1.33 (Fig. 23: 1.67)", ratio)
+			}
+			if d := e[ModelDynSwitch] / e[ModelLTE]; d > 1.15 {
+				t.Errorf("web dyn (%.0fJ) should track LTE (%.0fJ)", e[ModelDynSwitch], e[ModelLTE])
+			}
+			// §6.3: dynamic switching saves ≈25 % over NSA for web.
+			if s := 1 - e[ModelDynSwitch]/e[ModelNSA]; s < 0.12 || s > 0.40 {
+				t.Errorf("web dyn saving over NSA = %.1f%%, paper 25.04%%", 100*s)
+			}
+		case "video", "file":
+			// High-rate transfers favor 5G.
+			if e[ModelNSA] >= e[ModelLTE] {
+				t.Errorf("%s: NSA (%.0fJ) must beat LTE (%.0fJ)", name, e[ModelNSA], e[ModelLTE])
+			}
+			if e[ModelDynSwitch] >= e[ModelLTE] {
+				t.Errorf("%s: dyn (%.0fJ) must beat LTE (%.0fJ)", name, e[ModelDynSwitch], e[ModelLTE])
+			}
+		}
+		if name == "file" {
+			// The file row's big margin: LTE ≈ 2.3× NSA.
+			if r := e[ModelLTE] / e[ModelNSA]; r < 1.8 || r > 3.2 {
+				t.Errorf("file LTE/NSA = %.2f, paper 2.27", r)
+			}
+		}
+	}
+}
+
+func TestTable4Magnitudes(t *testing.T) {
+	// Absolute energies in the paper's range (Joules, not mJ or kJ).
+	if e := Replay(ModelLTE, fileTrace()).EnergyJ; math.Abs(e-357.67) > 120 {
+		t.Fatalf("file LTE = %.0f J, paper 357.67", e)
+	}
+	if e := Replay(ModelNSA, fileTrace()).EnergyJ; math.Abs(e-157.29) > 50 {
+		t.Fatalf("file NSA = %.0f J, paper 157.29", e)
+	}
+	if e := Replay(ModelNSA, videoTrace()).EnergyJ; math.Abs(e-140.19) > 45 {
+		t.Fatalf("video NSA = %.0f J, paper 140.19", e)
+	}
+	if e := Replay(ModelLTE, videoTrace()).EnergyJ; math.Abs(e-227.13) > 70 {
+		t.Fatalf("video LTE = %.0f J, paper 227.13", e)
+	}
+}
+
+func TestReplayCompletesTransfers(t *testing.T) {
+	tr := fileTrace()
+	for _, m := range Models() {
+		r := Replay(m, tr)
+		// The replay must run past the trace (tail) and the LTE model must
+		// take far longer than the NSA model (completion times diverge).
+		if r.Duration <= tr.Duration() {
+			t.Fatalf("%v: replay ended before the tail", m)
+		}
+	}
+	lte := Replay(ModelLTE, tr).Duration
+	nsa := Replay(ModelNSA, tr).Duration
+	if lte < 2*nsa {
+		t.Fatalf("LTE file completion (%v) should be several times NSA's (%v)", lte, nsa)
+	}
+}
+
+func TestFig21Breakdown(t *testing.T) {
+	rows := RunFig21()
+	if len(rows) != 8 {
+		t.Fatalf("want 8 bars (4 apps × 2 techs), got %d", len(rows))
+	}
+	var nrShare, lteShare float64
+	for _, b := range rows {
+		if b.Tech == radio.NR {
+			nrShare += b.RadioShare()
+			// §6.1: the 5G module exceeds the screen (≈1.8×).
+			if b.Radio < b.Screen {
+				t.Errorf("%s on 5G: radio (%.2fW) below screen (%.2fW)", b.App.Name, b.Radio, b.Screen)
+			}
+		} else {
+			lteShare += b.RadioShare()
+		}
+	}
+	nrShare /= 4
+	lteShare /= 4
+	// Paper: 5G accounts for 55.18 % on average; 4G for 24.2–50.2 %.
+	if nrShare < 0.45 || nrShare > 0.68 {
+		t.Fatalf("mean 5G radio share = %.1f%%, paper 55.18%%", 100*nrShare)
+	}
+	if lteShare >= nrShare {
+		t.Fatal("4G radio share must be below 5G's")
+	}
+	if lteShare < 0.15 || lteShare > 0.52 {
+		t.Fatalf("mean 4G radio share = %.1f%%, paper 24–50%%", 100*lteShare)
+	}
+}
+
+func TestFig22EnergyPerBit(t *testing.T) {
+	durations := []time.Duration{time.Second, 5 * time.Second, 10 * time.Second, 30 * time.Second, 50 * time.Second}
+	pts := RunFig22(durations)
+	byTech := map[radio.Tech][]EfficiencyPoint{}
+	for _, p := range pts {
+		byTech[p.Tech] = append(byTech[p.Tech], p)
+	}
+	for tech, ps := range byTech {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].JPerBit >= ps[i-1].JPerBit {
+				t.Fatalf("%v: energy/bit must fall with transfer duration", tech)
+			}
+		}
+	}
+	// §6.1: "the energy-per-bit of 5G is only 1/4 of 4G" — we require the
+	// 4G cost to be ≳2.5× at every duration.
+	for i := range byTech[radio.NR] {
+		ratio := byTech[radio.LTE][i].JPerBit / byTech[radio.NR][i].JPerBit
+		if ratio < 2.2 {
+			t.Fatalf("4G/5G energy-per-bit ratio = %.2f at %v, paper ≈4", ratio, byTech[radio.NR][i].Duration)
+		}
+	}
+}
+
+func TestFig23Showcase(t *testing.T) {
+	// Ten web loads 3 s apart, one session (the Fig. 23 experiment).
+	tr := Trace{BinDur: 100 * time.Millisecond, Bytes: make([]int64, 320)}
+	for l := 0; l < 10; l++ {
+		for k := 0; k < 3; k++ {
+			tr.Bytes[l*30+k] = 1 << 20
+		}
+	}
+	lte, nsa, m := Showcase(tr)
+	// (i) 5G consumes ≈1.67× the 4G energy for the same session.
+	ratio := nsa.EnergyJ / lte.EnergyJ
+	if ratio < 1.2 || ratio > 2.1 {
+		t.Fatalf("NSA/LTE web session energy = %.2f, paper 1.67", ratio)
+	}
+	// (iii) the NR tail is about twice the LTE tail: t5 − t3 ≈ 2 × (t4 − t3).
+	lteTail := m.LTETailEnd - m.TransferEnd
+	nrTail := m.NRTailEnd - m.TransferEnd
+	if nrTail < time.Duration(1.6*float64(lteTail)) {
+		t.Fatalf("NR tail (%v) should be ≈2× LTE tail (%v)", nrTail, lteTail)
+	}
+	// Markers are ordered.
+	if !(m.PromotionStart <= m.TransferStart && m.TransferStart < m.TransferEnd &&
+		m.TransferEnd < m.LTETailEnd && m.LTETailEnd < m.NRTailEnd) {
+		t.Fatalf("marker ordering violated: %+v", m)
+	}
+	// (ii) jagged fluctuations: the NSA series must visit both high power
+	// (active) and DRX-level power repeatedly during the session.
+	transitions := 0
+	high := false
+	for _, p := range nsa.Series {
+		if p.At > m.TransferEnd {
+			break
+		}
+		h := p.PowerW > 1.0
+		if h != high {
+			transitions++
+			high = h
+		}
+	}
+	if transitions < 8 {
+		t.Fatalf("only %d power transitions during the session; Fig. 23 shows jagged per-load fluctuations", transitions)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s := Idle; s <= CDRX; s++ {
+		if s.String() == "?" {
+			t.Fatalf("state %d unnamed", s)
+		}
+	}
+	for _, m := range Models() {
+		if m.String() == "?" {
+			t.Fatalf("model %d unnamed", m)
+		}
+	}
+}
+
+func TestDynSwitchUsesBothRadios(t *testing.T) {
+	// A trace alternating heavy (>100 Mb/s) and light bins must produce
+	// switches under the dynamic model.
+	tr := Trace{BinDur: 100 * time.Millisecond, Bytes: make([]int64, 200)}
+	for i := range tr.Bytes {
+		if (i/30)%2 == 0 {
+			tr.Bytes[i] = 2 << 20 // 160 Mb/s
+		} else {
+			tr.Bytes[i] = 10 << 10
+		}
+	}
+	r := Replay(ModelDynSwitch, tr)
+	if r.Switches < 2 {
+		t.Fatalf("dynamic model never switched (%d)", r.Switches)
+	}
+}

@@ -1,0 +1,275 @@
+package energy
+
+import (
+	"time"
+
+	"fivegsim/internal/radio"
+)
+
+// Trace is offered traffic in fixed-width bins (the Wireshark captures
+// the paper replays in §6.3).
+type Trace struct {
+	BinDur time.Duration
+	Bytes  []int64
+}
+
+// TotalBytes sums the trace.
+func (t Trace) TotalBytes() int64 {
+	var n int64
+	for _, b := range t.Bytes {
+		n += b
+	}
+	return n
+}
+
+// Duration returns the trace span.
+func (t Trace) Duration() time.Duration { return time.Duration(len(t.Bytes)) * t.BinDur }
+
+// BinRate returns the offered rate of bin i in bits/s.
+func (t Trace) BinRate(i int) float64 {
+	return float64(t.Bytes[i]*8) / t.BinDur.Seconds()
+}
+
+// PowerSample is one point of the pwrStrip-style power series.
+type PowerSample struct {
+	At     time.Duration
+	PowerW float64
+	State  State
+	Tech   radio.Tech
+}
+
+// ReplayResult is the outcome of a trace replay.
+type ReplayResult struct {
+	EnergyJ  float64
+	Duration time.Duration // until the queue drained and the tail ended
+	Series   []PowerSample
+	InState  map[State]time.Duration
+	Switches int // 4G↔5G transitions (dynamic model only)
+}
+
+// Model selects a §6.3 power-management strategy.
+type Model int
+
+const (
+	// ModelLTE replays on the 4G radio only.
+	ModelLTE Model = iota
+	// ModelNSA replays on the 5G NSA radio (the phone's behaviour).
+	ModelNSA
+	// ModelOracle is the paper's protocol oracle: perfect sleep/awake
+	// transitions (no promotion cost, no inactivity-timer waste), but the
+	// same radio hardware per-state power and the protocol tail — "the
+	// bottleneck may lie in the hardware itself" (§6.3).
+	ModelOracle
+	// ModelDynSwitch opportunistically serves bins below the 4G capacity
+	// on the 4G radio and switches the 5G module on only when the offered
+	// rate approaches 100 Mb/s (§6.3).
+	ModelDynSwitch
+)
+
+var modelNames = [...]string{"LTE", "NR NSA", "NR Oracle", "Dyn. switch"}
+
+// String names the model like Table 4.
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return "?"
+}
+
+// Models lists the Table 4 rows.
+func Models() []Model { return []Model{ModelLTE, ModelNSA, ModelOracle, ModelDynSwitch} }
+
+// DynSwitchThresholdBps is the 4G-capacity threshold of the dynamic
+// scheme ("if the instantaneous traffic intensity ... is approaching 4G's
+// capacity, i.e., 100 Mbps, we switch the radio into the 5G NR module").
+const DynSwitchThresholdBps = 100e6
+
+// switchPenaltyJ is the signaling cost of one 4G↔5G transition under the
+// dynamic model.
+const switchPenaltyJ = 0.25
+
+// step is the state-machine integration step.
+const step = 10 * time.Millisecond
+
+// Replay drives the Fig. 25 state machine over a trace and integrates
+// radio energy. The run extends beyond the trace until the queue has
+// drained and the radio has fallen back to RRC_IDLE (tail included).
+func Replay(model Model, trace Trace) ReplayResult {
+	return ReplayWithParams(model, trace, nil)
+}
+
+// ReplayWithParams is Replay with a DRX-parameter override hook (used by
+// the DRX-sweep and RRC_INACTIVE ablations).
+func ReplayWithParams(model Model, trace Trace, mod func(DRXParams) DRXParams) ReplayResult {
+	res := ReplayResult{InState: map[State]time.Duration{}}
+
+	paramsFor := func(t radio.Tech) DRXParams {
+		p := ParamsFor(t)
+		if mod != nil {
+			p = mod(p)
+		}
+		return p
+	}
+
+	techFor := func(binRate float64) radio.Tech {
+		switch model {
+		case ModelLTE:
+			return radio.LTE
+		case ModelDynSwitch:
+			if binRate > DynSwitchThresholdBps {
+				return radio.NR
+			}
+			return radio.LTE
+		default:
+			return radio.NR
+		}
+	}
+
+	tech := techFor(0)
+	if model == ModelNSA || model == ModelOracle {
+		tech = radio.NR
+	}
+	params := paramsFor(tech)
+	power := PowerFor(tech)
+
+	state := Idle
+	var queue float64 // bytes waiting
+	var stateLeft time.Duration
+	var energy float64
+	now := time.Duration(0)
+	lastSample := time.Duration(-1)
+
+	setState := func(s State, dur time.Duration) {
+		state = s
+		stateLeft = dur
+	}
+
+	oracle := model == ModelOracle
+
+	for {
+		bin := int(now / trace.BinDur)
+		if bin < len(trace.Bytes) {
+			// Deliver this step's share of the bin's bytes into the queue.
+			queue += float64(trace.Bytes[bin]) * step.Seconds() / trace.BinDur.Seconds()
+			// Dynamic switching decision per bin boundary: the demand is
+			// the offered rate or the backlog drain pressure, whichever
+			// is larger (a queued-up bulk keeps the 5G radio selected).
+			if model == ModelDynSwitch {
+				demand := trace.BinRate(bin)
+				if backlogRate := queue * 8 / trace.BinDur.Seconds(); backlogRate > demand {
+					demand = backlogRate
+				}
+				want := techFor(demand)
+				if want != tech {
+					tech = want
+					params = paramsFor(tech)
+					power = PowerFor(tech)
+					energy += switchPenaltyJ
+					res.Switches++
+					if state == Active || state == ConnectedIdle {
+						// Connection carries over; tail timers restart.
+					} else if state == CDRX {
+						setState(CDRX, params.Ttail)
+					}
+				}
+			}
+		} else if queue <= 0 && (state == Idle || state == RRCInactive) {
+			break
+		}
+
+		stepPower := 0.0
+		drained := 0.0
+		switch state {
+		case Idle:
+			stepPower = power.IdleW
+			if queue > 0 {
+				if oracle {
+					setState(Active, 0) // perfect instant wake
+				} else {
+					setState(Promotion, params.TPro)
+				}
+			}
+		case Promotion:
+			stepPower = power.PromoW
+			stateLeft -= step
+			if stateLeft <= 0 {
+				setState(Active, 0)
+			}
+		case Active:
+			stepPower = power.ActiveW
+			if queue > 0 {
+				capacity := power.DLRateBps / 8 * step.Seconds()
+				drained = capacity
+				if drained > queue {
+					drained = queue
+				}
+				queue -= drained
+				if oracle {
+					// Perfect micro-sleep: the oracle pays the connected
+					// baseline only for the slots actually transmitting and
+					// drops to the DRX floor in between.
+					frac := drained / capacity
+					stepPower = power.ActiveW*frac + power.CDRXW*0.7*(1-frac)
+				}
+				stepPower += power.PerBitJ * drained * 8 / step.Seconds()
+			} else {
+				if oracle {
+					setState(CDRX, params.Ttail) // no inactivity waste
+				} else {
+					setState(ConnectedIdle, params.Tinac)
+				}
+			}
+		case ConnectedIdle:
+			stepPower = power.ActiveW
+			if queue > 0 {
+				setState(Active, 0)
+			} else {
+				stateLeft -= step
+				if stateLeft <= 0 {
+					setState(CDRX, params.Ttail)
+				}
+			}
+		case CDRX:
+			stepPower = power.CDRXW
+			if oracle {
+				// Perfect sleep inside the mandated DRX cycles: scheduling
+				// can trim the wake ramps but not the hardware's DRX floor
+				// (§6.3: "the bottleneck may lie in the hardware itself").
+				stepPower = power.CDRXW * 0.7
+			}
+			if queue > 0 {
+				setState(Active, 0) // fast resume from connected DRX
+			} else {
+				stateLeft -= step
+				if stateLeft <= 0 {
+					if params.HasRRCI {
+						setState(RRCInactive, 0)
+					} else {
+						setState(Idle, 0)
+					}
+				}
+			}
+		case RRCInactive:
+			// Context retained at near-idle power; resume is a short RACH
+			// rather than a full promotion.
+			stepPower = power.IdleW * 1.5
+			if queue > 0 {
+				setState(Promotion, params.TResume)
+			}
+		}
+
+		energy += stepPower * step.Seconds()
+		res.InState[state] += step
+		if now-lastSample >= 100*time.Millisecond {
+			res.Series = append(res.Series, PowerSample{At: now, PowerW: stepPower, State: state, Tech: tech})
+			lastSample = now
+		}
+		now += step
+		if now > trace.Duration()+5*time.Minute {
+			break // safety against pathological traces
+		}
+	}
+	res.EnergyJ = energy
+	res.Duration = now
+	return res
+}

@@ -1,0 +1,157 @@
+package energy
+
+import (
+	"time"
+
+	"fivegsim/internal/radio"
+)
+
+// ActiveUseProfile is the screen-on, continuously-scheduled power
+// envelope behind Fig. 21: with the scheduler keeping the radio in
+// RRC_CONNECTED continuous reception, the 5G module's baseline is far
+// higher than the DRX-shaped envelope the trace replay uses — the paper's
+// point that the consumption "is intrinsic to the 5G radio hardware".
+type ActiveUseProfile struct {
+	BaseW   float64
+	PerBitJ float64
+	CapBps  float64
+}
+
+// ActiveUseFor returns the Fig. 21 radio envelope per technology.
+func ActiveUseFor(t radio.Tech) ActiveUseProfile {
+	if t == radio.NR {
+		return ActiveUseProfile{BaseW: 2.6, PerBitJ: 2.2e-9, CapBps: 880e6}
+	}
+	return ActiveUseProfile{BaseW: 1.1, PerBitJ: 8.0e-9, CapBps: 130e6}
+}
+
+// RadioPowerW returns the radio component at a sustained rate.
+func (p ActiveUseProfile) RadioPowerW(rateBps float64) float64 {
+	if rateBps > p.CapBps {
+		rateBps = p.CapBps
+	}
+	return p.BaseW + p.PerBitJ*rateBps
+}
+
+// Device-level components of the Fig. 21 breakdown (watts).
+const (
+	SystemPowerW = 0.45 // Android system, airplane mode, screen off
+	ScreenPowerW = 1.8  // maximum brightness
+)
+
+// App is one Fig. 21 workload.
+type App struct {
+	Name    string
+	RateBps float64 // sustained network intensity during use
+	AppW    float64 // application CPU/GPU (measured offline)
+}
+
+// Apps returns the four §6.1 applications.
+func Apps() []App {
+	return []App{
+		{Name: "Browser", RateBps: 12e6, AppW: 0.35},
+		{Name: "Player", RateBps: 35e6, AppW: 0.45},
+		{Name: "Game", RateBps: 8e6, AppW: 0.9},
+		{Name: "Download", RateBps: 900e6, AppW: 0.25},
+	}
+}
+
+// Breakdown is one Fig. 21 bar.
+type Breakdown struct {
+	App    App
+	Tech   radio.Tech
+	System float64
+	Screen float64
+	AppW   float64
+	Radio  float64
+}
+
+// Total returns the device power.
+func (b Breakdown) Total() float64 { return b.System + b.Screen + b.AppW + b.Radio }
+
+// RadioShare returns the radio's share of the total.
+func (b Breakdown) RadioShare() float64 { return b.Radio / b.Total() }
+
+// RunFig21 profiles the four applications on both radios.
+func RunFig21() []Breakdown {
+	var out []Breakdown
+	for _, tech := range []radio.Tech{radio.LTE, radio.NR} {
+		prof := ActiveUseFor(tech)
+		for _, app := range Apps() {
+			out = append(out, Breakdown{
+				App: app, Tech: tech,
+				System: SystemPowerW, Screen: ScreenPowerW, AppW: app.AppW,
+				Radio: prof.RadioPowerW(app.RateBps),
+			})
+		}
+	}
+	return out
+}
+
+// EfficiencyPoint is one Fig. 22 sample: total radio energy (promotion
+// and tail included) per delivered bit for a saturated transfer of the
+// given duration.
+type EfficiencyPoint struct {
+	Tech     radio.Tech
+	Duration time.Duration
+	JPerBit  float64
+}
+
+// RunFig22 sweeps saturated transfer durations.
+func RunFig22(durations []time.Duration) []EfficiencyPoint {
+	var out []EfficiencyPoint
+	for _, tech := range []radio.Tech{radio.LTE, radio.NR} {
+		power := PowerFor(tech)
+		params := ParamsFor(tech)
+		for _, d := range durations {
+			bits := power.DLRateBps * d.Seconds()
+			energy := power.PromoW*params.TPro.Seconds() +
+				power.SaturatedPowerW()*d.Seconds() +
+				power.CDRXW*params.Ttail.Seconds()
+			out = append(out, EfficiencyPoint{Tech: tech, Duration: d, JPerBit: energy / bits})
+		}
+	}
+	return out
+}
+
+// ShowcaseMarkers are the Fig. 23 annotations.
+type ShowcaseMarkers struct {
+	PromotionStart time.Duration // t1
+	TransferStart  time.Duration // t2
+	TransferEnd    time.Duration // t3
+	LTETailEnd     time.Duration // t4 (LTE run)
+	NRTailEnd      time.Duration // t5 (NR run)
+}
+
+// Showcase runs the Fig. 23 experiment — a web load every 3 s, ten times —
+// on both radios and returns the traces plus marker timestamps and total
+// energies.
+func Showcase(trace Trace) (lte, nsa ReplayResult, m ShowcaseMarkers) {
+	lte = Replay(ModelLTE, trace)
+	nsa = Replay(ModelNSA, trace)
+	m.PromotionStart = firstState(nsa, Promotion)
+	m.TransferStart = firstState(nsa, Active)
+	m.TransferEnd = lastNonzeroBin(trace)
+	m.LTETailEnd = lte.Duration
+	m.NRTailEnd = nsa.Duration
+	return lte, nsa, m
+}
+
+func firstState(r ReplayResult, s State) time.Duration {
+	for _, p := range r.Series {
+		if p.State == s {
+			return p.At
+		}
+	}
+	return 0
+}
+
+func lastNonzeroBin(t Trace) time.Duration {
+	last := 0
+	for i, b := range t.Bytes {
+		if b > 0 {
+			last = i
+		}
+	}
+	return time.Duration(last+1) * t.BinDur
+}

@@ -1,0 +1,372 @@
+package handoff
+
+import (
+	"math"
+	"time"
+
+	"fivegsim/internal/deploy"
+	"fivegsim/internal/geom"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rng"
+)
+
+// Event is one recorded hand-off.
+type Event struct {
+	Kind       Kind
+	At         time.Duration
+	FromPCI    int
+	ToPCI      int
+	RSRQBefore float64 // serving-link RSRQ at trigger time
+	RSRQAfter  float64 // new serving-link RSRQ once the hand-off completes
+	Latency    time.Duration
+	Trace      []TraceStep
+}
+
+// Gain is the RSRQ improvement delivered by the hand-off.
+func (e Event) Gain() float64 { return e.RSRQAfter - e.RSRQBefore }
+
+// Campaign is the result of a walking measurement run, the analogue of the
+// paper's 80-minute, 407-event dataset.
+type Campaign struct {
+	Duration   time.Duration
+	Events     []Event
+	MeasEvents map[EventType]int
+}
+
+// ByKind returns the events of one kind.
+func (c *Campaign) ByKind(k Kind) []Event {
+	var out []Event
+	for _, e := range c.Events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Gains returns the RSRQ gains of all events of a kind (Fig. 5 series).
+func (c *Campaign) Gains(k Kind) []float64 {
+	events := c.ByKind(k)
+	out := make([]float64, len(events))
+	for i, e := range events {
+		out[i] = e.Gain()
+	}
+	return out
+}
+
+// Latencies returns the hand-off latencies in milliseconds for a kind
+// (Fig. 6 series).
+func (c *Campaign) Latencies(k Kind) []float64 {
+	events := c.ByKind(k)
+	out := make([]float64, len(events))
+	for i, e := range events {
+		out[i] = float64(e.Latency) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Config parametrizes a campaign.
+type Config struct {
+	Duration       time.Duration
+	SampleInterval time.Duration
+	MinSpeedKmh    float64
+	MaxSpeedKmh    float64
+	A3             A3Config
+	// NoiseStdDB is the fast-fading measurement noise on each RSRQ sample.
+	NoiseStdDB float64
+	// NRDropRSRP / NRAddRSRP are the hysteresis thresholds for releasing
+	// and re-adding the NR leg (vertical hand-offs).
+	NRDropRSRP float64
+	NRAddRSRP  float64
+}
+
+// DefaultConfig mirrors the paper's methodology: 80 minutes at walking or
+// cycling speed (3–10 km/h), 100 ms sampling, the ISP's A3 configuration.
+func DefaultConfig() Config {
+	return Config{
+		Duration:       80 * time.Minute,
+		SampleInterval: 100 * time.Millisecond,
+		MinSpeedKmh:    3,
+		MaxSpeedKmh:    10,
+		A3:             DefaultA3(),
+		NoiseStdDB:     0.8,
+		NRDropRSRP:     radio.ServiceThresholdDBm,
+		NRAddRSRP:      radio.ServiceThresholdDBm + 20,
+	}
+}
+
+// ueState is the walker's dual-connectivity state.
+type ueState struct {
+	ltePCI int // master eNB cell (always attached)
+	nrPCI  int // NR secondary cell, or -1 when on 4G only
+}
+
+// RunCampaign walks the campus and records every hand-off. The UE is an
+// NSA phone: it always holds an LTE master cell and attaches an NR
+// secondary whenever 5G coverage permits, exactly the setup whose mobility
+// behaviour §3.4 dissects.
+func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
+	src := rng.New(seed)
+	walkRng := src.Stream("handoff.walk")
+	noiseRng := src.Stream("handoff.noise")
+	sigRng := src.Stream("handoff.signaling")
+
+	out := &Campaign{Duration: cfg.Duration, MeasEvents: map[EventType]int{}}
+
+	// Waypoint walker state.
+	pos := geom.Point{X: 250, Y: 100}
+	target := roadPoint(campus, walkRng)
+	speed := rng.Uniform(walkRng, cfg.MinSpeedKmh, cfg.MaxSpeedKmh) / 3.6
+
+	st := ueState{ltePCI: -1, nrPCI: -1}
+	nrTracker := NewA3Tracker(cfg.A3)
+	lteTracker := NewA3Tracker(cfg.A3)
+	var nrBelowFor, nrAboveFor time.Duration
+	// Previous-tick condition flags for edge-triggered event counting.
+	prevCond := map[EventType]bool{}
+
+	noise := func() float64 { return noiseRng.NormFloat64() * cfg.NoiseStdDB }
+
+	for now := time.Duration(0); now < cfg.Duration; now += cfg.SampleInterval {
+		// Move.
+		step := speed * cfg.SampleInterval.Seconds()
+		if pos.Dist(target) <= step {
+			pos = target
+			target = roadPoint(campus, walkRng)
+			speed = rng.Uniform(walkRng, cfg.MinSpeedKmh, cfg.MaxSpeedKmh) / 3.6
+		} else {
+			dir := target.Sub(pos)
+			norm := math.Hypot(dir.X, dir.Y)
+			pos = pos.Add(dir.Scale(step / norm))
+		}
+
+		nr := campus.MeasureAll(radio.NR, pos)
+		lte := campus.MeasureAll(radio.LTE, pos)
+		if st.ltePCI < 0 {
+			// Initial attach (first tick only): camp on the strongest
+			// cells without recording hand-off events.
+			st.ltePCI = lte[0].PCI
+			if nr[0].Usable() {
+				st.nrPCI = nr[0].PCI
+			}
+		}
+		lteServing, lteBest := pick(lte, st.ltePCI)
+		nrServing, nrBest := pick(nr, st.nrPCI)
+
+		lteServRSRQ := lteServing.RSRQdB + noise()
+		lteBestRSRQ := lteBest.RSRQdB + noise()
+		nrServRSRQ := nrServing.RSRQdB + noise()
+		nrBestRSRQ := nrBest.RSRQdB + noise()
+
+		// Table 5 measurement-event bookkeeping (edge triggered).
+		servRSRQ := lteServRSRQ
+		if st.nrPCI >= 0 {
+			servRSRQ = nrServRSRQ
+		}
+		const hyst = 1.5 // reporting hysteresis, dB
+		markEvent(out, prevCond, A1, servRSRQ > A1ThresholdDB+hyst, servRSRQ < A1ThresholdDB-hyst)
+		markEvent(out, prevCond, A2, servRSRQ < A2ThresholdDB-hyst, servRSRQ > A2ThresholdDB+hyst)
+		markEvent(out, prevCond, A5,
+			servRSRQ < A5Threshold1-hyst && nrBestRSRQ > A5Threshold2+hyst,
+			servRSRQ > A5Threshold1+hyst || nrBestRSRQ < A5Threshold2-hyst)
+		markEvent(out, prevCond, B1,
+			st.nrPCI < 0 && nr[0].RSRPdBm > cfg.NRAddRSRP+1,
+			st.nrPCI >= 0 || nr[0].RSRPdBm < cfg.NRAddRSRP-4)
+		gap := lteBestRSRQ - lteServRSRQ
+		if st.nrPCI >= 0 {
+			gap = nrBestRSRQ - nrServRSRQ
+		}
+		markEvent(out, prevCond, A3, gap > cfg.A3.GapDB, gap < cfg.A3.GapDB-hyst)
+
+		executeHO := func(kind Kind, from, to int, before float64, after func() float64) {
+			trace, latency := Execute(kind, sigRng)
+			// The UE keeps moving during the interruption.
+			pos = pos.Add(target.Sub(pos).Scale(math.Min(1, speed*latency.Seconds()/math.Max(pos.Dist(target), 1e-9))))
+			out.Events = append(out.Events, Event{
+				Kind: kind, At: now, FromPCI: from, ToPCI: to,
+				RSRQBefore: before, RSRQAfter: after(),
+				Latency: latency, Trace: trace,
+			})
+		}
+
+		if st.nrPCI >= 0 {
+			// Horizontal NR hand-off via A3.
+			if nrBest.PCI != st.nrPCI &&
+				nrTracker.Observe(nrServRSRQ, nrBestRSRQ, cfg.SampleInterval) {
+				from, to := st.nrPCI, nrBest.PCI
+				executeHO(FiveToFive, from, to, nrServRSRQ, func() float64 {
+					m := campus.MeasureAll(radio.NR, pos)
+					serv, _ := pick(m, to)
+					return serv.RSRQdB + noise()
+				})
+				st.nrPCI = to
+				nrTracker.Reset()
+			}
+			// Vertical release when NR coverage collapses.
+			if nrServing.RSRPdBm < cfg.NRDropRSRP {
+				nrBelowFor += cfg.SampleInterval
+			} else {
+				nrBelowFor = 0
+			}
+			if nrBelowFor >= 500*time.Millisecond {
+				from := st.nrPCI
+				executeHO(FiveToFour, from, st.ltePCI, nrServRSRQ, func() float64 {
+					m := campus.MeasureAll(radio.LTE, pos)
+					serv, _ := pick(m, st.ltePCI)
+					return serv.RSRQdB + noise()
+				})
+				st.nrPCI = -1
+				nrBelowFor = 0
+				nrTracker.Reset()
+			}
+		} else {
+			// Vertical addition when NR coverage returns (B1-like rule).
+			// The UE attaches to the strongest NR cell.
+			if nr[0].RSRPdBm > cfg.NRAddRSRP {
+				nrAboveFor += cfg.SampleInterval
+			} else {
+				nrAboveFor = 0
+			}
+			if nrAboveFor >= 500*time.Millisecond {
+				to := nr[0].PCI
+				executeHO(FourToFive, st.ltePCI, to, lteServRSRQ, func() float64 {
+					m := campus.MeasureAll(radio.NR, pos)
+					serv, _ := pick(m, to)
+					return serv.RSRQdB + noise()
+				})
+				st.nrPCI = to
+				nrAboveFor = 0
+			}
+		}
+
+		// Master-eNB hand-off via A3 (counts as 4G-4G).
+		if lteBest.PCI != st.ltePCI &&
+			lteTracker.Observe(lteServRSRQ, lteBestRSRQ, cfg.SampleInterval) {
+			from, to := st.ltePCI, lteBest.PCI
+			executeHO(FourToFour, from, to, lteServRSRQ, func() float64 {
+				m := campus.MeasureAll(radio.LTE, pos)
+				serv, _ := pick(m, to)
+				return serv.RSRQdB + noise()
+			})
+			st.ltePCI = to
+			lteTracker.Reset()
+		}
+	}
+	return out
+}
+
+// markEvent counts a measurement-report event with hysteresis: the event
+// fires when enter becomes true while disarmed, and re-arms only once exit
+// becomes true (UEs report event-triggered measurements exactly this way,
+// which is why the paper can tabulate an event mix at all).
+func markEvent(c *Campaign, armed map[EventType]bool, e EventType, enter, exit bool) {
+	if armed[e] {
+		if exit {
+			armed[e] = false
+		}
+		return
+	}
+	if enter {
+		c.MeasEvents[e]++
+		armed[e] = true
+	}
+}
+
+// pick returns the measurement of the serving PCI and the strongest other
+// cell ("best neighbor"). If the serving PCI is absent the strongest cell
+// stands in for it.
+func pick(ms []radio.Measurement, servingPCI int) (serving, bestNeighbor radio.Measurement) {
+	serving = ms[0]
+	found := false
+	for _, m := range ms {
+		if m.PCI == servingPCI {
+			serving = m
+			found = true
+			break
+		}
+	}
+	for _, m := range ms {
+		if found && m.PCI == servingPCI {
+			continue
+		}
+		if !found && m.PCI == serving.PCI {
+			continue
+		}
+		bestNeighbor = m
+		break
+	}
+	return serving, bestNeighbor
+}
+
+// roadPoint draws a random waypoint on the road graph.
+func roadPoint(c *deploy.Campus, r interface{ Float64() float64 }) geom.Point {
+	total := c.RoadLengthM()
+	at := r.Float64() * total
+	for _, road := range c.Roads {
+		l := road.Length()
+		if at <= l {
+			return road.At(at / l)
+		}
+		at -= l
+	}
+	return c.Roads[len(c.Roads)-1].B
+}
+
+// CaseStudySample is one tick of the Fig. 4 RSRQ-evolution trace.
+type CaseStudySample struct {
+	At         time.Duration
+	ServingPCI int
+	RSRQ       map[int]float64 // tracked PCIs → RSRQ
+}
+
+// CaseStudy reproduces Fig. 4: a walk past the gNB site carrying cells 226
+// and 44, recording the serving cell and the RSRQ of the tracked PCIs. The
+// returned hand-off index marks the sample at which serving switches.
+func CaseStudy(campus *deploy.Campus, seed int64) (series []CaseStudySample, hoIndex int) {
+	site := campus.CellByPCI(226).Pos
+	// Walk a straight line through the site's sector boundary.
+	from := site.Add(geom.Point{X: -90, Y: -60})
+	to := site.Add(geom.Point{X: 95, Y: 70})
+	noiseRng := rng.New(seed).Stream("handoff.case")
+	tracked := []int{226, 44, 441}
+	cfg := DefaultA3()
+	tracker := NewA3Tracker(cfg)
+	serving := 226
+	hoIndex = -1
+	const ticks = 150
+	for i := 0; i <= ticks; i++ {
+		p := from.Lerp(to, float64(i)/ticks)
+		sample := CaseStudySample{
+			At:         time.Duration(i) * 100 * time.Millisecond,
+			ServingPCI: serving,
+			RSRQ:       map[int]float64{},
+		}
+		var servRSRQ, bestRSRQ float64
+		bestPCI := serving
+		nr := campus.MeasureAll(radio.NR, p)
+		for _, m := range nr {
+			for _, pci := range tracked {
+				if m.PCI == pci {
+					sample.RSRQ[pci] = m.RSRQdB + noiseRng.NormFloat64()*0.5
+				}
+			}
+			if m.PCI == serving {
+				servRSRQ = m.RSRQdB
+			}
+		}
+		for _, m := range nr {
+			if m.PCI != serving {
+				bestRSRQ = m.RSRQdB
+				bestPCI = m.PCI
+				break
+			}
+		}
+		if hoIndex < 0 && tracker.Observe(servRSRQ, bestRSRQ, 100*time.Millisecond) {
+			serving = bestPCI
+			hoIndex = i
+		}
+		sample.ServingPCI = serving
+		series = append(series, sample)
+	}
+	return series, hoIndex
+}

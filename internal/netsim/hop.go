@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"time"
+
+	"fivegsim/internal/des"
+)
+
+// Hop is one store-and-forward element: a drop-tail FIFO buffer feeding a
+// fixed-rate serializer, followed by a propagation delay. It is the router
+// model under the paper's §4.2 buffer analysis.
+type Hop struct {
+	Name string
+
+	sch     *des.Scheduler
+	rateBps func() float64
+	prop    time.Duration
+	// limitBytes is the buffer size; at or beyond it arriving packets are
+	// dropped (drop-tail), the behaviour the paper's bursty loss pattern
+	// (Fig. 11) implicates.
+	limitBytes int
+	next       Receiver
+
+	queue       []*Packet
+	queuedBytes int
+	busy        bool
+	lockout     bool
+
+	// Stats.
+	Forwarded  int64
+	Dropped    int64
+	DropEvents int64 // distinct overflow episodes
+	inDrop     bool
+	MaxQueued  int
+
+	// OnDrop, if set, observes every dropped packet.
+	OnDrop func(p *Packet)
+}
+
+// NewHop creates a hop serving at rateBps (callable, so radio hops can be
+// time-varying) with the given propagation delay and buffer limit.
+func NewHop(sch *des.Scheduler, name string, rateBps func() float64, prop time.Duration, limitBytes int, next Receiver) *Hop {
+	return &Hop{
+		Name: name, sch: sch, rateBps: rateBps, prop: prop,
+		limitBytes: limitBytes, next: next,
+	}
+}
+
+// QueuedBytes returns the current backlog.
+func (h *Hop) QueuedBytes() int { return h.queuedBytes }
+
+// reliefBytes is the low watermark below which an overflowed queue starts
+// accepting again. Hardware queues commonly drop until a watermark clears;
+// this lockout is what turns an overflow episode into a run of consecutive
+// foreground losses (the bursty pattern of Fig. 11).
+const reliefBytes = 64 << 10
+
+// Receive implements Receiver: enqueue or drop.
+func (h *Hop) Receive(p *Packet) {
+	relief := reliefBytes
+	if relief > h.limitBytes/2 {
+		relief = h.limitBytes / 2
+	}
+	if h.lockout && h.queuedBytes > h.limitBytes-relief {
+		h.Dropped++
+		if h.OnDrop != nil {
+			h.OnDrop(p)
+		}
+		return
+	}
+	h.lockout = false
+	if h.queuedBytes+p.Wire > h.limitBytes {
+		h.Dropped++
+		h.lockout = true
+		if !h.inDrop {
+			h.DropEvents++
+			h.inDrop = true
+		}
+		if h.OnDrop != nil {
+			h.OnDrop(p)
+		}
+		return
+	}
+	h.inDrop = false
+	h.queue = append(h.queue, p)
+	h.queuedBytes += p.Wire
+	if h.queuedBytes > h.MaxQueued {
+		h.MaxQueued = h.queuedBytes
+	}
+	if !h.busy {
+		h.serve()
+	}
+}
+
+// serve transmits the head-of-line packet.
+func (h *Hop) serve() {
+	if len(h.queue) == 0 {
+		h.busy = false
+		return
+	}
+	h.busy = true
+	p := h.queue[0]
+	h.queue = h.queue[1:]
+	h.queuedBytes -= p.Wire
+	rate := h.rateBps()
+	if rate <= 0 {
+		// Link stalled (e.g. hand-off outage): retry shortly. The packet
+		// stays at the head conceptually; re-queue it in front.
+		h.queue = append([]*Packet{p}, h.queue...)
+		h.queuedBytes += p.Wire
+		h.sch.After(time.Millisecond, h.serve)
+		return
+	}
+	txTime := time.Duration(float64(p.Wire*8) / rate * float64(time.Second))
+	h.sch.After(txTime, func() {
+		h.Forwarded++
+		target := h.next
+		h.sch.After(h.prop, func() { target.Receive(p) })
+		h.serve()
+	})
+}

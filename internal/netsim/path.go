@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"time"
+
+	"fivegsim/internal/des"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rng"
+)
+
+// PathConfig describes one end-to-end path between the cloud server and
+// the UE, per technology and time of day. Defaults are calibrated to the
+// paper's measurements (see DefaultPath).
+type PathConfig struct {
+	Tech    radio.Tech
+	Daytime bool
+
+	// Downlink radio goodput available to the foreground UE (PRB share
+	// and MCS applied): the UDP baselines of Fig. 7.
+	RANRateBps     float64
+	RANBufferBytes int
+	RANOneWay      time.Duration
+
+	// CoreOneWay is the gNB/eNB → packet core latency: the paper's Fig. 14
+	// shows the 5G flat architecture takes ≈20 ms (RTT) out of this hop.
+	CoreOneWay time.Duration
+
+	// The legacy Internet bottleneck.
+	BottleneckBps         float64
+	BottleneckBufferBytes int
+	BottleneckOneWay      time.Duration
+
+	// ServerOneWay covers the remaining wired hops to the cloud server.
+	ServerOneWay time.Duration
+
+	// Uplink capacity (carries ACKs and uplink video).
+	ULRateBps float64
+
+	Cross CrossConfig
+	Seed  int64
+}
+
+// DefaultPath returns the calibrated path for a technology/time of day.
+//
+// Calibration targets (paper §4): UDP DL baselines 880/900 Mb/s (5G
+// day/night) and 130/200 Mb/s (4G); UL 130/130 and 50/100 Mb/s; one-way
+// path latency ≈21.8 ms (5G) with the 4G path ≈22 ms RTT slower, of which
+// the RAN accounts for 2.19 vs 2.6 ms RTT and the core hop the bulk
+// (Fig. 14); a 1 Gb/s wired bottleneck whose buffer is provisioned for
+// 4G-era flows.
+func DefaultPath(tech radio.Tech, daytime bool) PathConfig {
+	cfg := PathConfig{
+		Tech:             tech,
+		Daytime:          daytime,
+		BottleneckBps:    1e9,
+		BottleneckOneWay: 3 * time.Millisecond,
+		ServerOneWay:     4 * time.Millisecond,
+		Cross:            DefaultCross(),
+		Seed:             1,
+	}
+	if tech == radio.LTE {
+		cfg.Cross = LegacyCross()
+	}
+	if tech == radio.NR {
+		if daytime {
+			cfg.RANRateBps = 880e6
+		} else {
+			cfg.RANRateBps = 900e6
+		}
+		cfg.ULRateBps = 130e6
+		cfg.RANBufferBytes = 3_750_000 // ≈5× the 4G RAN buffer (Table 3)
+		cfg.RANOneWay = 1100 * time.Microsecond
+		cfg.CoreOneWay = 2500 * time.Microsecond
+		cfg.BottleneckBufferBytes = 1_600_000 // ≈2.5× the 4G path's (Table 3)
+	} else {
+		if daytime {
+			cfg.RANRateBps = 132e6
+			cfg.ULRateBps = 50e6
+		} else {
+			cfg.RANRateBps = 202e6
+			cfg.ULRateBps = 100e6
+		}
+		cfg.RANBufferBytes = 2_000_000
+		cfg.RANOneWay = 1300 * time.Microsecond
+		cfg.CoreOneWay = 13500 * time.Microsecond
+		cfg.BottleneckBufferBytes = 640_000
+	}
+	return cfg
+}
+
+// BaseRTT returns the no-queueing round-trip time of the path.
+func (c PathConfig) BaseRTT() time.Duration {
+	oneWay := c.RANOneWay + c.CoreOneWay + c.BottleneckOneWay + c.ServerOneWay
+	return 2 * oneWay
+}
+
+// Path is a built end-to-end path running on a shared scheduler.
+type Path struct {
+	Sch *des.Scheduler
+	Cfg PathConfig
+
+	// ServerIngress accepts downlink packets from the server-side sender.
+	ServerIngress Receiver
+	// UEIngress accepts uplink packets from the UE (ACKs, uplink video).
+	UEIngress Receiver
+
+	// ToUE / ToServer are set by the endpoints to receive deliveries.
+	ToUE     Receiver
+	ToServer Receiver
+
+	Bottleneck *Hop
+	RAN        *RANHop
+	UplinkRAN  *Hop
+	CrossSink  *Sink
+}
+
+// NewPath wires up the downlink chain
+//
+//	server → wired → [bottleneck+cross] → core → RAN → UE
+//
+// and the uplink chain UE → UL-RAN → core+wired → server.
+func NewPath(sch *des.Scheduler, cfg PathConfig) *Path {
+	p := &Path{Sch: sch, Cfg: cfg}
+	src := rng.New(cfg.Seed)
+
+	// Downlink, built back to front.
+	ueDeliver := ReceiverFunc(func(pkt *Packet) {
+		if p.ToUE != nil {
+			p.ToUE.Receive(pkt)
+		}
+	})
+	ranRate := cfg.RANRateBps
+	p.RAN = NewRANHop(sch, cfg.Tech, func() float64 { return ranRate },
+		cfg.RANOneWay, cfg.RANBufferBytes, src.Stream("ran.harq"), ueDeliver)
+
+	core := NewHop(sch, "core", func() float64 { return 10e9 }, cfg.CoreOneWay, 64_000_000, p.RAN)
+
+	p.CrossSink = &Sink{}
+	demux := ReceiverFunc(func(pkt *Packet) {
+		if pkt.Background {
+			p.CrossSink.Receive(pkt)
+			return
+		}
+		core.Receive(pkt)
+	})
+	p.Bottleneck = NewHop(sch, "bottleneck", func() float64 { return cfg.BottleneckBps },
+		cfg.BottleneckOneWay, cfg.BottleneckBufferBytes, demux)
+
+	serverWired := NewHop(sch, "server-wired", func() float64 { return 10e9 }, cfg.ServerOneWay, 64_000_000, p.Bottleneck)
+	p.ServerIngress = serverWired
+
+	StartCross(sch, cfg.Cross, src.Stream("cross"), p.Bottleneck)
+
+	// Uplink.
+	serverDeliver := ReceiverFunc(func(pkt *Packet) {
+		if p.ToServer != nil {
+			p.ToServer.Receive(pkt)
+		}
+	})
+	ulWired := NewHop(sch, "ul-wired", func() float64 { return 10e9 },
+		cfg.CoreOneWay+cfg.BottleneckOneWay+cfg.ServerOneWay, 64_000_000, serverDeliver)
+	p.UplinkRAN = NewHop(sch, "ul-ran", func() float64 { return cfg.ULRateBps },
+		cfg.RANOneWay, 2_000_000, ulWired)
+	p.UEIngress = p.UplinkRAN
+
+	return p
+}
+
+// SetRANRate changes the downlink radio goodput (e.g. PRB contention or a
+// weaker MCS after movement).
+func (p *Path) SetRANRate(bps float64) {
+	cfg := p.Cfg
+	cfg.RANRateBps = bps
+	p.Cfg = cfg
+	// The RAN hop reads through a closure; rebuild it to point at the new
+	// value by swapping the rate function.
+	p.RAN.rateBps = func() float64 { return bps }
+}
+
+// Outage interrupts the radio in both directions for d (hand-off).
+func (p *Path) Outage(d time.Duration) {
+	p.RAN.SetOutage(d)
+}

@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+
+	"fivegsim/internal/des"
+	"fivegsim/internal/radio"
+)
+
+// RANHop models the radio access hop: a deep base-station buffer feeding
+// the air interface. Every transport block goes through HARQ — losses on
+// the air never surface to the transport layer ("we can safely conclude
+// that the packet loss bottleneck is not on the 5G wireless link", §4.2) —
+// but retransmissions consume airtime and add jitter.
+type RANHop struct {
+	Name string
+
+	sch      *des.Scheduler
+	rateBps  func() float64
+	prop     time.Duration
+	limit    int
+	next     Receiver
+	harq     radio.HARQ
+	harqRTT  time.Duration // per-retransmission round trip on the air
+	airScale float64
+	rng      *rand.Rand
+
+	queue         []*Packet
+	queuedBytes   int
+	busy          bool
+	outageUntil   time.Duration
+	lastDeliverAt time.Duration
+
+	// Stats.
+	Forwarded    int64
+	Dropped      int64
+	MaxQueued    int
+	AttemptsHist [8]int64 // HARQ attempts histogram (index = attempts, capped)
+	ResidualLoss int64
+}
+
+// NewRANHop builds the radio hop for a technology. rateBps is the
+// foreground goodput of the air interface (PRB share and MCS already
+// applied).
+func NewRANHop(sch *des.Scheduler, tech radio.Tech, rateBps func() float64, prop time.Duration, limitBytes int, rng *rand.Rand, next Receiver) *RANHop {
+	harqRTT := 8 * time.Millisecond // LTE HARQ round trip
+	if tech == radio.NR {
+		harqRTT = 2500 * time.Microsecond // NR slot-level feedback
+	}
+	harq := radio.HARQFor(tech)
+	return &RANHop{
+		Name: tech.String() + "-RAN", sch: sch,
+		rateBps: rateBps,
+		prop:    prop,
+		limit:   limitBytes, next: next, harq: harq, harqRTT: harqRTT,
+		// rateBps is the goodput; the air runs faster by the mean HARQ
+		// attempt count so retransmission airtime is already budgeted.
+		airScale: harq.MeanAttempts(),
+		rng:      rng,
+	}
+}
+
+// QueuedBytes returns the current backlog.
+func (h *RANHop) QueuedBytes() int { return h.queuedBytes }
+
+// SetOutage suspends the air interface for d (a hand-off interruption):
+// packets keep arriving and are buffered; service resumes afterwards.
+func (h *RANHop) SetOutage(d time.Duration) {
+	until := h.sch.Now() + d
+	if until > h.outageUntil {
+		h.outageUntil = until
+	}
+}
+
+// Receive implements Receiver.
+func (h *RANHop) Receive(p *Packet) {
+	if h.queuedBytes+p.Wire > h.limit {
+		h.Dropped++
+		return
+	}
+	h.queue = append(h.queue, p)
+	h.queuedBytes += p.Wire
+	if h.queuedBytes > h.MaxQueued {
+		h.MaxQueued = h.queuedBytes
+	}
+	if !h.busy {
+		h.serve()
+	}
+}
+
+func (h *RANHop) serve() {
+	if len(h.queue) == 0 {
+		h.busy = false
+		return
+	}
+	h.busy = true
+	if now := h.sch.Now(); now < h.outageUntil {
+		h.sch.After(h.outageUntil-now, h.serve)
+		return
+	}
+	p := h.queue[0]
+	h.queue = h.queue[1:]
+	h.queuedBytes -= p.Wire
+	rate := h.rateBps() * h.airScale
+	if rate <= 0 {
+		h.queue = append([]*Packet{p}, h.queue...)
+		h.queuedBytes += p.Wire
+		h.sch.After(time.Millisecond, h.serve)
+		return
+	}
+	attempts, lost := h.harq.Attempts(h.rng.Float64())
+	idx := attempts
+	if idx >= len(h.AttemptsHist) {
+		idx = len(h.AttemptsHist) - 1
+	}
+	h.AttemptsHist[idx]++
+	// Each attempt occupies airtime; the scheduler's parallel HARQ
+	// processes keep the link busy meanwhile, so the serializer is held
+	// only for the airtime while the HARQ round trips show up as extra
+	// per-packet latency (and mild reordering), not lost capacity.
+	txTime := time.Duration(float64(p.Wire*8*attempts) / rate * float64(time.Second))
+	extraLatency := time.Duration(attempts-1) * h.harqRTT
+	h.sch.After(txTime, func() {
+		if lost {
+			h.ResidualLoss++ // probability ≈ 10⁻⁵⁶; tracked for completeness
+		} else {
+			h.Forwarded++
+			target := h.next
+			// RLC in-order delivery: a block held up by HARQ round trips
+			// also holds back its successors (head-of-line jitter), so
+			// the transport layer never sees radio-induced reordering.
+			deliverAt := h.sch.Now() + h.prop + extraLatency
+			if deliverAt < h.lastDeliverAt {
+				deliverAt = h.lastDeliverAt
+			}
+			h.lastDeliverAt = deliverAt
+			h.sch.At(deliverAt, func() { target.Receive(p) })
+		}
+		h.serve()
+	})
+}
+
+// Retransmissions returns the HARQ attempts histogram normalized over
+// blocks needing more than one attempt — the Fig. 10 series.
+func (h *RANHop) Retransmissions() map[int]float64 {
+	var total int64
+	for _, c := range h.AttemptsHist {
+		total += c
+	}
+	out := map[int]float64{}
+	if total == 0 {
+		return out
+	}
+	for attempts, c := range h.AttemptsHist {
+		if attempts >= 2 && c > 0 {
+			out[attempts-1] = float64(c) / float64(total)
+		}
+	}
+	return out
+}

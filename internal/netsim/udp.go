@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"time"
+
+	"fivegsim/internal/des"
+)
+
+// UDPResult summarizes an iperf3-style constant-rate UDP run.
+type UDPResult struct {
+	OfferedBps   float64
+	DeliveredBps float64
+	Sent         int64
+	Received     int64
+	LossRate     float64
+	// ReceivedSeq is the in-order list of sequence numbers that arrived,
+	// recorded when tracing is on (the Fig. 11 bursty-loss evidence).
+	ReceivedSeq []int64
+	// RTTBase is the configured no-load RTT (diagnostic).
+	RTTBase time.Duration
+}
+
+// LossRuns returns the lengths of consecutive-loss runs in the trace —
+// the burstiness measure behind Fig. 11.
+func (r UDPResult) LossRuns() []int {
+	var runs []int
+	prev := int64(-1)
+	for _, seq := range r.ReceivedSeq {
+		if prev >= 0 && seq > prev+1 {
+			runs = append(runs, int(seq-prev-1))
+		}
+		prev = seq
+	}
+	return runs
+}
+
+// RunUDP sends CBR traffic at offeredBps over a fresh path for the given
+// duration and reports delivery statistics.
+func RunUDP(cfg PathConfig, offeredBps float64, duration time.Duration, trace bool) UDPResult {
+	sch := des.New()
+	path := NewPath(sch, cfg)
+
+	res := UDPResult{OfferedBps: offeredBps, RTTBase: cfg.BaseRTT()}
+	var receivedBytes int64
+	path.ToUE = ReceiverFunc(func(p *Packet) {
+		res.Received++
+		receivedBytes += int64(p.Len)
+		if trace {
+			res.ReceivedSeq = append(res.ReceivedSeq, p.Seq)
+		}
+	})
+
+	interval := time.Duration(float64((MSS+HeaderBytes)*8) / offeredBps * float64(time.Second))
+	var seq int64
+	var tick func()
+	tick = func() {
+		if sch.Now() >= duration {
+			return
+		}
+		path.ServerIngress.Receive(&Packet{
+			FlowID: 1, Seq: seq, Len: MSS, Wire: MSS + HeaderBytes, SentAt: sch.Now(),
+		})
+		seq++
+		res.Sent++
+		sch.After(interval, tick)
+	}
+	tick()
+
+	// Run past the nominal duration so in-flight packets drain.
+	sch.RunUntil(duration + time.Second)
+
+	if res.Sent > 0 {
+		res.LossRate = 1 - float64(res.Received)/float64(res.Sent)
+	}
+	res.DeliveredBps = float64(receivedBytes*8) / duration.Seconds()
+	return res
+}
+
+// UDPBaseline measures the peak deliverable UDP throughput of a path by
+// offering slightly more than the radio can carry, mirroring the paper's
+// "gradually increase the UDP sending rate" methodology (§4.1).
+func UDPBaseline(cfg PathConfig, duration time.Duration) UDPResult {
+	return RunUDP(cfg, cfg.RANRateBps*1.08, duration, false)
+}

@@ -1,0 +1,68 @@
+// Package pwrstrip is the paper's custom energy logger: it reads battery
+// status (timestamp, instantaneous current, voltage) at a 100 ms
+// granularity — here from the simulated power series instead of the
+// Android kernel — and integrates energy the way the §6 analysis does.
+package pwrstrip
+
+import (
+	"fmt"
+	"time"
+
+	"fivegsim/internal/energy"
+)
+
+// Record is one battery sample: the (timestamp, current, voltage) triple
+// pwrStrip reads from the kernel.
+type Record struct {
+	At        time.Duration
+	CurrentMA float64
+	VoltageV  float64
+}
+
+// PowerW returns the instantaneous power.
+func (r Record) PowerW() float64 { return r.CurrentMA / 1000 * r.VoltageV }
+
+// Interval is the sampling granularity of the tool.
+const Interval = 100 * time.Millisecond
+
+// nominalV is the battery voltage; it sags slightly under load.
+const nominalV = 3.85
+
+// Capture converts a simulated power series into battery records,
+// including the non-radio device floor.
+func Capture(series []energy.PowerSample, deviceFloorW float64) []Record {
+	out := make([]Record, 0, len(series))
+	for _, s := range series {
+		p := s.PowerW + deviceFloorW
+		v := nominalV - 0.04*p/3 // IR sag
+		out = append(out, Record{At: s.At, CurrentMA: p / v * 1000, VoltageV: v})
+	}
+	return out
+}
+
+// EnergyJ integrates the trace (left Riemann sum at the tool's fixed
+// interval, as the paper's offline analysis does).
+func EnergyJ(records []Record) float64 {
+	var j float64
+	for _, r := range records {
+		j += r.PowerW() * Interval.Seconds()
+	}
+	return j
+}
+
+// Header returns the CSV header of a pwrStrip trace.
+func Header() []string { return []string{"t_ms", "current_ma", "voltage_v", "power_mw"} }
+
+// Rows renders records for CSV export.
+func Rows(records []Record) [][]string {
+	rows := make([][]string, 0, len(records))
+	for _, r := range records {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.At.Milliseconds()),
+			fmt.Sprintf("%.1f", r.CurrentMA),
+			fmt.Sprintf("%.3f", r.VoltageV),
+			fmt.Sprintf("%.1f", r.PowerW()*1000),
+		})
+	}
+	return rows
+}

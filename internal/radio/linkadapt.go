@@ -1,0 +1,116 @@
+package radio
+
+import "math"
+
+// MaxSpectralEfficiency is the per-layer ceiling at MCS 27: 256-QAM (8
+// bits/symbol) at code rate 0.925, the highest entry the paper observes
+// ("we often monitor the MCS index is 27, which corresponds to a maximum
+// code rate of 0.925 ... in 256 QAM").
+const MaxSpectralEfficiency = 8 * 0.925
+
+// SpectralEfficiency maps SINR (dB) to achievable bits per resource
+// element per layer using the attenuated-Shannon model common in system
+// simulators: SE = η·log2(1+SINR), clipped to the MCS-27 ceiling.
+func SpectralEfficiency(sinrDB float64) float64 {
+	const eta = 0.75
+	lin := math.Pow(10, sinrDB/10)
+	se := eta * math.Log2(1+lin)
+	if se > MaxSpectralEfficiency {
+		se = MaxSpectralEfficiency
+	}
+	if se < 0 {
+		se = 0
+	}
+	return se
+}
+
+// CQIFromSINR maps SINR to the 15-level channel quality indicator the UE
+// reports. The mapping is the standard ~1.9 dB/step staircase anchored so
+// CQI 15 needs ≈20 dB.
+func CQIFromSINR(sinrDB float64) int {
+	cqi := int(math.Round((sinrDB + 6.7) / 1.9))
+	if cqi < 1 {
+		cqi = 1
+	}
+	if cqi > 15 {
+		cqi = 15
+	}
+	return cqi
+}
+
+// MCSFromCQI maps the reported CQI to the scheduled MCS index (0–27, the
+// 256-QAM table of TS 38.214).
+func MCSFromCQI(cqi int) int {
+	mcs := cqi*2 - 3
+	if mcs < 0 {
+		mcs = 0
+	}
+	if mcs > 27 {
+		mcs = 27
+	}
+	return mcs
+}
+
+// HARQ models the MAC-layer hybrid-ARQ process that hides radio loss from
+// the transport layer. The paper identifies a retransmission threshold of
+// 32 from the PDSCH configuration and observes that in practice every
+// transport block succeeds within ≤4 attempts on 4G and ≤2 on 5G, so no
+// RAN loss ever reaches TCP (§4.2).
+type HARQ struct {
+	// BlerTarget is the first-transmission block error rate the link
+	// adaptation aims for (10 % is the standard operating point).
+	BlerTarget float64
+	// RetxBler is the error probability of the first retransmission; soft
+	// combining makes each further retry geometrically more reliable
+	// (attempt k ≥ 2 fails with RetxBler^(k−1)).
+	RetxBler float64
+	// MaxAttempts is the retransmission threshold (32 per the paper).
+	MaxAttempts int
+}
+
+// HARQFor returns the calibrated HARQ profile for a technology. NR's wider
+// bandwidth and faster feedback make retries converge in fewer attempts.
+func HARQFor(t Tech) HARQ {
+	switch t {
+	case NR:
+		return HARQ{BlerTarget: 0.10, RetxBler: 0.02, MaxAttempts: 32}
+	default:
+		return HARQ{BlerTarget: 0.10, RetxBler: 0.12, MaxAttempts: 32}
+	}
+}
+
+// MeanAttempts returns the expected number of transmissions per transport
+// block: E[A] = 1 + Σ P(A ≥ k) over the geometric soft-combining chain.
+func (h HARQ) MeanAttempts() float64 {
+	mean := 1.0
+	survive := h.BlerTarget
+	retx := h.RetxBler
+	for k := 2; k <= h.MaxAttempts; k++ {
+		mean += survive
+		survive *= retx
+		retx *= h.RetxBler
+	}
+	return mean
+}
+
+// Attempts draws the number of transmissions needed for one transport
+// block given a uniform random value u ∈ [0,1). The first attempt fails
+// with BlerTarget; each retry fails with RetxBler; attempts are capped at
+// MaxAttempts. The returned residualLoss is true only if every attempt
+// failed (probability ≈ BlerTarget·RetxBler^31 ≈ 10⁻⁵⁶ — effectively never,
+// matching the paper's conclusion that the bottleneck is not the RAN).
+func (h HARQ) Attempts(u float64) (attempts int, residualLoss bool) {
+	attempts = 1
+	p := h.BlerTarget
+	retxP := h.RetxBler
+	for u < p && attempts < h.MaxAttempts {
+		u /= p // re-condition the uniform draw on the failure event
+		p = retxP
+		retxP *= h.RetxBler // soft combining: each retry more reliable
+		attempts++
+	}
+	if u < p {
+		return attempts, true
+	}
+	return attempts, false
+}

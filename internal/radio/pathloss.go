@@ -1,0 +1,107 @@
+package radio
+
+import "math"
+
+// Propagation holds the calibrated path-loss model for one band. The model
+// is close-in log-distance: PL(d) = PL0 + 10·n·log10(d) with d in meters,
+// plus per-wall penetration loss (brick/concrete campus construction) and
+// an additional outdoor-to-indoor bulk loss when the receiver is inside.
+type Propagation struct {
+	// PL0 is the fitted close-in intercept at 1 m. It is a calibration
+	// constant, not free-space loss: for NR it absorbs the massive-MIMO
+	// beamforming gain of the gNB panels, for LTE the feeder losses and
+	// electrical downtilt of legacy eNBs.
+	PL0 float64
+	// Exponent is the near-range path-loss exponent, up to BreakM.
+	Exponent float64
+	// BreakM is the breakpoint distance; beyond it loss steepens to
+	// Exponent2 (downtilt null, street clutter). The paper's observation
+	// of a sharp 5G disconnect at ≈230 m despite a healthy mid-range RSRP
+	// distribution implies exactly this two-slope shape.
+	BreakM    float64
+	Exponent2 float64
+
+	WallLossDB  float64 // penetration loss through the exterior wall when ending indoors
+	IndoorExtra float64 // additional loss once indoors (clutter, inner walls)
+	BlockDB     float64 // diffraction loss per building obstructing an outdoor path
+	BlockCapDB  float64 // cap on total outdoor blockage loss
+	ShadowStdDB float64 // log-normal shadow-fading standard deviation
+}
+
+// PropagationFor returns the calibrated urban-campus propagation model for
+// a band. Values reproduce the paper's observations: the 3.5 GHz carrier
+// loses service (RSRP < −105 dBm) around 230 m, the 1.8 GHz carrier around
+// 520 m, and the indoor transition costs 5G roughly 2.5× the bit-rate hit
+// of 4G (§3.3: −50.59 % vs −20.38 %).
+func PropagationFor(t Tech) Propagation {
+	switch t {
+	case NR:
+		return Propagation{
+			PL0:         17.4,
+			Exponent:    4.3,
+			BreakM:      170,
+			Exponent2:   16.5,
+			WallLossDB:  13,
+			IndoorExtra: 6,
+			BlockDB:     3,
+			BlockCapDB:  6,
+			ShadowStdDB: 6.5,
+		}
+	default:
+		return Propagation{
+			PL0:         55.2,
+			Exponent:    2.9,
+			BreakM:      450,
+			Exponent2:   6,
+			WallLossDB:  4,
+			IndoorExtra: 1.5,
+			BlockDB:     2,
+			BlockCapDB:  5,
+			ShadowStdDB: 6,
+		}
+	}
+}
+
+// PathLoss returns loss in dB over distance d (meters) with the given
+// number of exterior-wall crossings on the direct path, ending indoors or
+// not. Distances below 1 m are clamped.
+//
+// Outdoor receivers behind buildings do not take full per-wall penetration
+// loss — the signal diffracts around obstacles — so outdoor blockage is
+// BlockDB per obstructing wall, capped at BlockCapDB. An indoor receiver
+// additionally pays the full exterior-wall penetration plus indoor
+// clutter, which is what drives the paper's 50.59 % (5G) vs 20.38 % (4G)
+// indoor bit-rate collapse.
+func (p Propagation) PathLoss(d float64, wallCrossings int, indoor bool) float64 {
+	if d < 1 {
+		d = 1
+	}
+	pl := p.PL0 + 10*p.Exponent*math.Log10(math.Min(d, p.BreakM))
+	if d > p.BreakM {
+		pl += 10 * p.Exponent2 * math.Log10(d/p.BreakM)
+	}
+	blockWalls := wallCrossings
+	if indoor && blockWalls > 0 {
+		blockWalls-- // the final wall is charged as penetration instead
+	}
+	block := float64(blockWalls) * p.BlockDB
+	if block > p.BlockCapDB {
+		block = p.BlockCapDB
+	}
+	pl += block
+	if indoor {
+		pl += p.WallLossDB + p.IndoorExtra
+	}
+	return pl
+}
+
+// ServiceThresholdDBm is the RSRP below which the network cannot sustain a
+// connection (Rel-15 TS 36.211, cited in §3.1 of the paper).
+const ServiceThresholdDBm = -105
+
+// noisePerREdBm returns the thermal noise power per resource element:
+// −174 dBm/Hz + 10·log10(12·SCS) + noise figure.
+func noisePerREdBm(b Band) float64 {
+	const noiseFigureDB = 7
+	return -174 + 10*math.Log10(12*b.SCSkHz*1000) + noiseFigureDB
+}

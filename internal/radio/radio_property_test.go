@@ -1,0 +1,96 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fivegsim/internal/geom"
+)
+
+func TestPathLossMonotoneInDistanceProperty(t *testing.T) {
+	for _, tech := range []Tech{LTE, NR} {
+		prop := PropagationFor(tech)
+		f := func(a, b uint16) bool {
+			d1 := float64(a%2000) + 1
+			d2 := float64(b%2000) + 1
+			if d1 > d2 {
+				d1, d2 = d2, d1
+			}
+			return prop.PathLoss(d1, 0, false) <= prop.PathLoss(d2, 0, false)+1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Fatalf("%v: %v", tech, err)
+		}
+	}
+}
+
+func TestPathLossWallsOnlyAddLossProperty(t *testing.T) {
+	prop := PropagationFor(NR)
+	f := func(d16 uint16, walls uint8) bool {
+		d := float64(d16%1000) + 1
+		w := int(walls % 6)
+		base := prop.PathLoss(d, 0, false)
+		blocked := prop.PathLoss(d, w, false)
+		indoor := prop.PathLoss(d, w, true)
+		return blocked >= base-1e-9 && indoor > blocked-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutdoorBlockageCapped(t *testing.T) {
+	prop := PropagationFor(NR)
+	base := prop.PathLoss(100, 0, false)
+	many := prop.PathLoss(100, 50, false)
+	if many-base > prop.BlockCapDB+1e-9 {
+		t.Fatalf("outdoor blockage %0.1f dB exceeds the %0.1f dB diffraction cap", many-base, prop.BlockCapDB)
+	}
+}
+
+func TestBitRateNonNegativeProperty(t *testing.T) {
+	band := BandNR()
+	f := func(sinr float64, prb uint16) bool {
+		if math.IsNaN(sinr) || math.IsInf(sinr, 0) {
+			return true
+		}
+		se := SpectralEfficiency(math.Mod(sinr, 100))
+		r := band.Rate(se, int(prb%uint16(band.PRBs))+1)
+		return r >= 0 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAttemptsConsistentWithDraws(t *testing.T) {
+	for _, tech := range []Tech{LTE, NR} {
+		h := HARQFor(tech)
+		want := h.MeanAttempts()
+		// Empirical mean over a deterministic uniform grid.
+		var sum float64
+		n := 200000
+		for i := 0; i < n; i++ {
+			u := (float64(i) + 0.5) / float64(n)
+			a, _ := h.Attempts(u)
+			sum += float64(a)
+		}
+		got := sum / float64(n)
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("%v: empirical mean attempts %.4f vs analytic %.4f", tech, got, want)
+		}
+	}
+}
+
+func TestRSRPFallsWithDistanceUnderAntenna(t *testing.T) {
+	c := &Cell{Tech: NR, Band: BandNR(), Antenna: DefaultSector(0), EIRPPerREdBm: DefaultEIRPPerRE(NR)}
+	prev := math.Inf(1)
+	for d := 10.0; d <= 500; d += 10 {
+		r := RSRPAt(c, geom.Point{X: d}, OpenField{}, 0)
+		if r >= prev {
+			t.Fatalf("RSRP not decreasing at %v m", d)
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,47 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Shadower produces spatially correlated log-normal shadow fading along a
+// trajectory (Gudmundson model): successive samples are an AR(1) process
+// whose correlation decays exponentially with distance moved.
+type Shadower struct {
+	rng    *rand.Rand
+	stdDB  float64
+	decorr float64 // decorrelation distance, meters
+	value  float64
+	seeded bool
+}
+
+// NewShadower returns a shadower with the given std (dB) and decorrelation
+// distance (meters).
+func NewShadower(rng *rand.Rand, stdDB, decorrM float64) *Shadower {
+	return &Shadower{rng: rng, stdDB: stdDB, decorr: decorrM}
+}
+
+// Next advances the process by movedM meters and returns the new shadowing
+// value in dB.
+func (s *Shadower) Next(movedM float64) float64 {
+	if !s.seeded {
+		s.value = s.rng.NormFloat64() * s.stdDB
+		s.seeded = true
+		return s.value
+	}
+	if movedM < 0 {
+		movedM = 0
+	}
+	rho := math.Exp(-movedM / s.decorr)
+	s.value = rho*s.value + math.Sqrt(1-rho*rho)*s.rng.NormFloat64()*s.stdDB
+	return s.value
+}
+
+// Value returns the current shadowing value without advancing.
+func (s *Shadower) Value() float64 {
+	if !s.seeded {
+		return s.Next(0)
+	}
+	return s.value
+}

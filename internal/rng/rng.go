@@ -1,0 +1,70 @@
+// Package rng provides named, seeded random streams so that every fivegsim
+// experiment is reproducible and adding a new random consumer does not
+// perturb the draws seen by existing ones.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source derives independent sub-streams from a root seed. Each named
+// stream is an independent *rand.Rand whose seed depends only on the root
+// seed and the name.
+type Source struct {
+	seed int64
+}
+
+// New returns a Source rooted at seed.
+func New(seed int64) *Source { return &Source{seed: seed} }
+
+// Seed returns the root seed.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Stream returns the deterministic sub-stream for name.
+func (s *Source) Stream(name string) *rand.Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(s.seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Normal draws from N(mean, std) on r, a convenience wrapper.
+func Normal(r *rand.Rand, mean, std float64) float64 {
+	return mean + std*r.NormFloat64()
+}
+
+// ClampedNormal draws from N(mean, std) truncated by rejection to [lo, hi].
+// If the window is improbable the draw is clamped instead of looping
+// forever.
+func ClampedNormal(r *rand.Rand, mean, std, lo, hi float64) float64 {
+	for i := 0; i < 16; i++ {
+		v := Normal(r, mean, std)
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	v := Normal(r, mean, std)
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// Exp draws an exponentially distributed value with the given mean.
+func Exp(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// LogNormal draws a log-normal with the given parameters of the underlying
+// normal (mu, sigma in log space).
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(Normal(r, mu, sigma))
+}
+
+// Uniform draws uniformly from [lo, hi).
+func Uniform(r *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}

@@ -1,0 +1,97 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	a := New(42).Stream("coverage")
+	b := New(42).Stream("coverage")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed+name must produce identical streams")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	a := New(42).Stream("coverage")
+	b := New(42).Stream("handoff")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names look identical (%d/100 equal draws)", same)
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := New(1).Stream("x")
+	b := New(2).Stream("x")
+	if a.Float64() == b.Float64() && a.Float64() == b.Float64() {
+		t.Fatal("different seeds should give different streams")
+	}
+}
+
+func TestClampedNormalBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := New(seed).Stream("t")
+		for i := 0; i < 50; i++ {
+			v := ClampedNormal(r, 0, 10, -1, 1)
+			if v < -1 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(7).Stream("moments")
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := Normal(r, 5, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("mean = %v, want ≈5", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Fatalf("std = %v, want ≈2", std)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(9).Stream("u")
+	for i := 0; i < 1000; i++ {
+		v := Uniform(r, 3, 4)
+		if v < 3 || v >= 4 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(11).Stream("e")
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Exp(r, 3)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Exp mean = %v, want ≈3", mean)
+	}
+}

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"time"
+
+	"fivegsim/internal/des"
+	"fivegsim/internal/netsim"
+	"fivegsim/internal/radio"
+)
+
+// BufferEstimate reproduces Table 3: in-network buffer sizes estimated by
+// the classical max-min delay method — the largest queueing delay observed
+// on a segment times an assumed 1 Gb/s capacity, expressed in 60-byte
+// packets, exactly the paper's accounting.
+type BufferEstimate struct {
+	RAN       int
+	Wired     int
+	WholePath int
+}
+
+// estimation constants per the paper: "the result is derived under the
+// assumption of 1 Gbps path capacity and also 60 Bytes packet size".
+const (
+	assumedCapacityBps = 1e9
+	assumedPacketBytes = 60
+)
+
+// EstimateBuffers loads a path to 90 % of its baseline (so the wired
+// bottleneck exercises its depth during cross-traffic episodes while the
+// RAN queue stays transient) for the given duration, sampling per-segment
+// queueing delay every 10 ms, then converts max-min delay into the
+// Table 3 packet counts.
+func EstimateBuffers(tech radio.Tech, duration time.Duration, seed int64) BufferEstimate {
+	cfg := netsim.DefaultPath(tech, true)
+	cfg.Seed = seed
+	sch := des.New()
+	path := netsim.NewPath(sch, cfg)
+	path.ToUE = netsim.ReceiverFunc(func(p *netsim.Packet) {})
+
+	offered := cfg.RANRateBps * 0.90
+	interval := time.Duration(float64((netsim.MSS+netsim.HeaderBytes)*8) / offered * float64(time.Second))
+	var seq int64
+	var tick func()
+	tick = func() {
+		if sch.Now() >= duration {
+			return
+		}
+		path.ServerIngress.Receive(&netsim.Packet{Seq: seq, Len: netsim.MSS, Wire: netsim.MSS + netsim.HeaderBytes})
+		seq++
+		sch.After(interval, tick)
+	}
+	tick()
+
+	var ranMaxDelay, wiredMaxDelay float64 // seconds
+	var sample func()
+	sample = func() {
+		if sch.Now() >= duration {
+			return
+		}
+		if d := float64(path.RAN.QueuedBytes()*8) / cfg.RANRateBps; d > ranMaxDelay {
+			ranMaxDelay = d
+		}
+		if d := float64(path.Bottleneck.QueuedBytes()*8) / cfg.BottleneckBps; d > wiredMaxDelay {
+			wiredMaxDelay = d
+		}
+		sch.After(10*time.Millisecond, sample)
+	}
+	sample()
+	sch.RunUntil(duration)
+
+	toPackets := func(delaySec float64) int {
+		return int(delaySec * assumedCapacityBps / 8 / assumedPacketBytes)
+	}
+	est := BufferEstimate{
+		RAN:   toPackets(ranMaxDelay),
+		Wired: toPackets(wiredMaxDelay),
+	}
+	est.WholePath = est.RAN + est.Wired
+	return est
+}
+
+// StanfordBufferRule returns the buffer a bottleneck needs under the
+// B = RTT·C/√n rule the paper cites [16,71,85], in bytes.
+func StanfordBufferRule(rtt time.Duration, capacityBps float64, flows int) int {
+	if flows < 1 {
+		flows = 1
+	}
+	return int(rtt.Seconds() * capacityBps / 8 / sqrtf(flows))
+}
+
+func sqrtf(n int) float64 {
+	x := float64(n)
+	// Newton iterations are plenty for the small n used here.
+	g := x
+	for i := 0; i < 20; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}

@@ -1,0 +1,44 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"fivegsim/internal/radio"
+)
+
+func TestMeasureServerDeterministic(t *testing.T) {
+	a := MeasureServer(radio.NR, Servers[3], 10, 7)
+	b := MeasureServer(radio.NR, Servers[3], 10, 7)
+	for i := range a {
+		if a[i].RTT != b[i].RTT {
+			t.Fatal("probes not deterministic")
+		}
+	}
+	c := MeasureServer(radio.NR, Servers[3], 10, 8)
+	if a[0].RTT == c[0].RTT && a[1].RTT == c[1].RTT {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestProbeJitterAlwaysPositive(t *testing.T) {
+	for _, s := range Servers {
+		base := BaseRTT(radio.NR, s.DistanceKm)
+		for _, p := range MeasureServer(radio.NR, s, 30, 3) {
+			if p.RTT <= base {
+				t.Fatalf("probe RTT %v at or below base %v (queueing jitter must add)", p.RTT, base)
+			}
+			if p.RTT > base+200*time.Millisecond {
+				t.Fatalf("probe RTT %v implausibly far above base %v", p.RTT, base)
+			}
+		}
+	}
+}
+
+func TestEstimateBuffersDeterministic(t *testing.T) {
+	a := EstimateBuffers(radio.LTE, 5*time.Second, 3)
+	b := EstimateBuffers(radio.LTE, 5*time.Second, 3)
+	if a != b {
+		t.Fatalf("buffer estimation not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,39 @@
+// Package wire implements the end-to-end latency study of §4.4: the
+// Table 6 SPEEDTEST server catalog, the distance/hop RTT model behind
+// Figs. 13–15, and the max-min-delay buffer estimation of Table 3.
+package wire
+
+// Server is one Table 6 measurement target.
+type Server struct {
+	ID         int
+	Name       string
+	IP         string
+	City       string
+	Lat, Lon   float64
+	DistanceKm float64
+}
+
+// Servers is the paper's Table 6: the 20 nationwide SPEEDTEST servers used
+// for the end-to-end delay analysis, 1.67–3426 km from the campus.
+var Servers = []Server{
+	{5145, "Beijing Unicom", "61.135.202.2", "Beijing", 39.9289, 116.3883, 1.67},
+	{27154, "China Unicom 5G", "61.181.174.254", "Tianjin", 39.1422, 117.1767, 111.65},
+	{5039, "China Unicom Jinan Branch", "119.164.254.58", "Jinan", 36.6683, 116.9972, 366.42},
+	{25728, "China Mobile Liaoning Branch Dalian", "221.180.176.102", "Dalian", 38.9128, 121.4989, 462.77},
+	{27100, "Shandong CMCC 5G", "120.221.94.86", "Qingdao", 36.1748, 120.4284, 553.80},
+	{5396, "China Telecom Jiangsu 5G", "115.169.22.130", "Suzhou", 31.3566, 120.4682, 638.00},
+	{16375, "China Mobile Jilin", "111.26.139.78", "Changchun", 43.7914, 125.4784, 859.32},
+	{5724, "China Unicom", "112.122.10.26", "Hefei", 31.8639, 117.2808, 900.06},
+	{5485, "China Unicom Hubei Branch", "113.57.249.2", "Wuhan", 30.5801, 114.2734, 1056.52},
+	{4690, "China Unicom Lanzhou Branch Co.Ltd", "180.95.155.86", "Lanzhou", 36.0564, 103.7922, 1183.99},
+	{6715, "China Mobile Zhejiang 5G", "112.15.227.66", "Ningbo", 29.8573, 121.6323, 1213.23},
+	{4870, "Changsha Hunan Unicom Server1", "220.202.152.178", "Changsha", 28.1792, 113.1136, 1341.73},
+	{5530, "CCN", "117.59.115.2", "Chongqing", 29.5628, 106.5528, 1459.16},
+	{4884, "China Unicom Fujian", "36.250.1.90", "Fuzhou", 26.0614, 119.3061, 1563.93},
+	{16398, "China Mobile Guizhou", "117.187.8.178", "Guiyang", 26.6639, 106.6779, 1730.12},
+	{26678, "Guangzhou Unicom 5G", "58.248.20.98", "Guangzhou", 23.1167, 113.25, 1890.52},
+	{5674, "GX Unicom", "121.31.15.130", "Nanning", 22.8167, 108.3167, 2048.98},
+	{16503, "China Mobile Hainan", "221.182.240.218", "Haikou", 19.9111, 110.3301, 2285.12},
+	{27575, "Xinjiang Telecom Cloud", "202.100.171.140", "Urumqi", 43.8010, 87.6005, 2404.00},
+	{17245, "China Mobile Group Xinjiang", "117.190.149.118", "Kashi", 39.4694, 76.0739, 3426.37},
+}

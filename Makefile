@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race bench ci
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: what every PR must keep green.
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Scheduler/telemetry overhead benches plus the per-figure benches.
+bench:
+	$(GO) test -run xxx -bench=BenchmarkSchedulerObs -benchtime=2s .
+	$(GO) test -run xxx -bench=. -benchmem .
+
+ci:
+	./scripts/ci.sh

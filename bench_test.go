@@ -3,6 +3,10 @@ package fivegsim
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"fivegsim/internal/des"
+	"fivegsim/internal/obs"
 )
 
 // Each benchmark regenerates one table or figure of the paper's
@@ -60,6 +64,56 @@ func BenchmarkFigure20_FrameDelay(b *testing.B)       { benchExperiment(b, "F20"
 func BenchmarkFigure21_PowerBreakdown(b *testing.B)   { benchExperiment(b, "F21", "nrShare") }
 func BenchmarkFigure22_EnergyPerBit(b *testing.B)     { benchExperiment(b, "F22", "ratioAt50s") }
 func BenchmarkFigure23_EnergyTrace(b *testing.B)      { benchExperiment(b, "F23", "ratio") }
+
+// Telemetry overhead benches: the DES scheduler with observability
+// detached (the default), attached, and attached with per-callback
+// profiling. The no-op path is the one every pre-existing experiment
+// runs on, so ObsOff must stay within a few percent of the pre-obs
+// scheduler (EXPERIMENTS.md records the measured ratios).
+
+// benchScheduler drives a self-perpetuating event chain with a standing
+// population of pending timers, approximating the scheduler load of a
+// packet-level run: every fired event reschedules itself and one in four
+// cancels a previously armed timer.
+func benchScheduler(b *testing.B, s *des.Scheduler) {
+	b.Helper()
+	const fanout = 32
+	fired := 0
+	var timers [fanout]*des.Timer
+	var tick func()
+	tick = func() {
+		fired++
+		if fired >= b.N {
+			return
+		}
+		i := fired % fanout
+		if timers[i] != nil && fired%4 == 0 {
+			timers[i].Cancel()
+		}
+		timers[i] = s.After(time.Duration(fanout+i)*time.Microsecond, func() {})
+		s.After(time.Microsecond, tick)
+	}
+	s.After(0, tick)
+	b.ResetTimer()
+	s.Run()
+}
+
+func BenchmarkSchedulerObsOff(b *testing.B) {
+	benchScheduler(b, des.New())
+}
+
+func BenchmarkSchedulerObsOn(b *testing.B) {
+	s := des.New()
+	s.SetObs(obs.NewRegistry(), nil)
+	benchScheduler(b, s)
+}
+
+func BenchmarkSchedulerObsProfiled(b *testing.B) {
+	s := des.New()
+	s.SetObs(obs.NewRegistry(), nil)
+	s.SetProfile(true)
+	benchScheduler(b, s)
+}
 
 // Ablation benches (the DESIGN.md extensions beyond the paper's figures).
 

@@ -7,6 +7,9 @@
 //	fgbench -quick          # reduced durations (CI-friendly)
 //	fgbench -run F7,T4      # a subset
 //	fgbench -list           # enumerate experiments
+//	fgbench -metrics        # print the telemetry snapshot per run
+//	fgbench -trace out.json # export a Chrome trace (Perfetto-loadable)
+//	fgbench -manifest m.json# write the run manifests as JSON (see fgobs)
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"time"
 
 	"fivegsim"
+	"fivegsim/internal/obs"
 )
 
 func main() {
@@ -24,6 +28,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	metrics := flag.Bool("metrics", false, "collect and print the metrics snapshot after each experiment")
+	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the campaign to this file")
+	manifestPath := flag.String("manifest", "", "write the run manifests (JSON array) to this file")
+	profile := flag.Bool("profile", false, "measure per-event callback wall time (adds overhead)")
 	flag.Parse()
 
 	if *list {
@@ -33,7 +41,12 @@ func main() {
 		return
 	}
 
-	cfg := fivegsim.Config{Seed: *seed, Quick: *quick}
+	collect := *metrics || *manifestPath != ""
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(0)
+	}
+
 	ids := map[string]bool{}
 	if *run != "" {
 		for _, id := range strings.Split(*run, ",") {
@@ -43,20 +56,80 @@ func main() {
 
 	start := time.Now()
 	ran := 0
+	var manifests []obs.RunManifest
 	for _, e := range fivegsim.Experiments() {
 		if len(ids) > 0 && !ids[e.ID] {
 			continue
+		}
+		cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Trace: tracer, Profile: *profile}
+		if collect {
+			// A fresh registry per experiment keeps each manifest's
+			// snapshot attributable to that run alone.
+			cfg.Obs = obs.NewRegistry()
 		}
 		t0 := time.Now()
 		res := e.Run(cfg)
 		fmt.Print(res.Report())
 		fmt.Printf("  (%.1fs)\n\n", time.Since(t0).Seconds())
+		if *metrics {
+			fmt.Printf("-- metrics %s (events=%d, sim=%s, wall=%s) --\n%s\n",
+				e.ID, res.Manifest.EventsExecuted, res.Manifest.SimTime,
+				res.Manifest.WallTime.Round(time.Millisecond), cfg.Obs.Text())
+		}
+		manifests = append(manifests, res.Manifest)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintln(os.Stderr, "fgbench: no experiments matched -run; try -list")
 		os.Exit(1)
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "fgbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d trace events to %s (%d overwritten by ring wrap)\n",
+			len(tracer.Events()), *tracePath, tracer.Dropped())
+	}
+	if *manifestPath != "" {
+		if err := writeManifests(*manifestPath, manifests); err != nil {
+			fmt.Fprintln(os.Stderr, "fgbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d manifests to %s\n", len(manifests), *manifestPath)
+	}
 	fmt.Printf("regenerated %d experiments in %.1fs (seed %d, quick=%v)\n",
 		ran, time.Since(start).Seconds(), *seed, *quick)
+}
+
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tracer.WriteChromeTrace(f)
+}
+
+func writeManifests(path string, manifests []obs.RunManifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, m := range manifests {
+		if i > 0 {
+			if _, err := f.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if err := m.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	_, err = f.WriteString("]\n")
+	return err
 }

@@ -34,6 +34,7 @@ func runTable4(cfg Config) Result {
 		row := line("%-5s:", tc.name)
 		for i, m := range energy.Models() {
 			r := energy.Replay(m, tc.trace)
+			r.RecordObs(cfg.Obs, m)
 			row += line("  %-11s %6.1f J (paper %6.2f)", m, r.EnergyJ, paper[tc.name][i])
 			res.Values[tc.name+"/"+m.String()] = r.EnergyJ
 		}

@@ -71,7 +71,7 @@ func runFig7(cfg Config) Result {
 			if daytime {
 				name = tech.String() + " day"
 			}
-			b := netsim.UDPBaseline(netsim.DefaultPath(tech, daytime), udpDur(cfg))
+			b := netsim.UDPBaseline(cfg.obsPath(tech, daytime), udpDur(cfg))
 			res.Lines = append(res.Lines, line("UDP baseline %-9s: %6.0f Mb/s (paper %.0f)", name, b.DeliveredBps/1e6, paperBase[name]))
 			res.Values["udp"+name] = b.DeliveredBps
 			if daytime {
@@ -84,7 +84,7 @@ func runFig7(cfg Config) Result {
 	}
 	for _, tech := range []radio.Tech{radio.NR, radio.LTE} {
 		for _, name := range cc.Names() {
-			r := transport.RunBulk(netsim.DefaultPath(tech, true), name, bulkDur(cfg))
+			r := transport.RunBulk(cfg.obsPath(tech, true), name, bulkDur(cfg))
 			util := r.Utilization(baselines[tech])
 			idx := 0
 			if tech == radio.LTE {
@@ -105,7 +105,7 @@ func runFig7(cfg Config) Result {
 
 func runFig8(cfg Config) Result {
 	d := bulkDur(cfg)
-	pathCfg := netsim.DefaultPath(radio.NR, true)
+	pathCfg := cfg.obsPath(radio.NR, true)
 	bbr := transport.RunBulk(pathCfg, "bbr", d)
 	cubic := transport.RunBulk(pathCfg, "cubic", d)
 	res := Result{ID: "F8", Title: "cwnd evolution over 5G", Values: map[string]float64{}}
@@ -134,7 +134,7 @@ func runFig9(cfg Config) Result {
 	res := Result{ID: "F9", Title: "UDP loss vs load", Values: map[string]float64{}}
 	paper5 := map[string]float64{"1/5": 0.5, "1/4": 0.7, "1/3": 1.0, "1/2": 3.1, "1": 4.5}
 	for _, tech := range []radio.Tech{radio.NR, radio.LTE} {
-		pcfg := netsim.DefaultPath(tech, true)
+		pcfg := cfg.obsPath(tech, true)
 		row := tech.String() + ": "
 		for _, f := range []struct {
 			name string
@@ -157,7 +157,7 @@ func runFig9(cfg Config) Result {
 func runFig10(cfg Config) Result {
 	res := Result{ID: "F10", Title: "HARQ retransmissions", Values: map[string]float64{}}
 	for _, tech := range []radio.Tech{radio.LTE, radio.NR} {
-		pcfg := netsim.DefaultPath(tech, true)
+		pcfg := cfg.obsPath(tech, true)
 		sch := des.New()
 		path := netsim.NewPath(sch, pcfg)
 		path.ToUE = netsim.ReceiverFunc(func(p *netsim.Packet) {})
@@ -189,7 +189,7 @@ func runFig10(cfg Config) Result {
 }
 
 func runFig11(cfg Config) Result {
-	pcfg := netsim.DefaultPath(radio.NR, true)
+	pcfg := cfg.obsPath(radio.NR, true)
 	r := netsim.RunUDP(pcfg, pcfg.RANRateBps*0.9, udpDur(cfg), true)
 	runs := r.LossRuns()
 	long := 0
@@ -227,7 +227,7 @@ func runFig12(cfg Config) Result {
 		}
 		var drops []float64
 		for i := 0; i < reps; i++ {
-			drops = append(drops, hoThroughputDrop(tech, kind, cfg.Seed+int64(i)))
+			drops = append(drops, hoThroughputDrop(cfg, tech, kind, cfg.Seed+int64(i)))
 		}
 		s := stats.Summarize(drops)
 		res.Lines = append(res.Lines, line("%-5s: throughput drop %5.1f%% ± %.1f (paper %.2f%%)", kind, 100*s.Mean, 100*s.Std, paper[kind]))
@@ -241,8 +241,8 @@ func runFig12(cfg Config) Result {
 // kind's signaling latency, and measures the windowed throughput drop
 // right after the hand-off (Fig. 12 methodology: 10 ms windows around the
 // event; we use the 200 ms after vs the 1 s before).
-func hoThroughputDrop(tech radio.Tech, kind handoff.Kind, seed int64) float64 {
-	pcfg := netsim.DefaultPath(tech, true)
+func hoThroughputDrop(cfg Config, tech radio.Tech, kind handoff.Kind, seed int64) float64 {
+	pcfg := cfg.obsPath(tech, true)
 	pcfg.Seed = seed
 	sch := des.New()
 	path := netsim.NewPath(sch, pcfg)

@@ -20,6 +20,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"fivegsim/internal/netsim"
+	"fivegsim/internal/obs"
+	"fivegsim/internal/radio"
 )
 
 // Config parametrizes an experiment run.
@@ -30,6 +35,31 @@ type Config struct {
 	// samples) while preserving every qualitative result. Benchmarks and
 	// CI use Quick; the full campaign uses !Quick.
 	Quick bool
+
+	// Obs, when non-nil, collects simulator telemetry for the run:
+	// `des.*` scheduler counters, `netsim.*` per-hop packet/byte
+	// counters and occupancy histograms, `cc.*` congestion-control
+	// events and `energy.*` state residencies. Nil (the default) keeps
+	// the simulator on its no-op fast path.
+	Obs *obs.Registry
+	// Trace, when non-nil, records timestamped span/instant events
+	// (packet drops, outages, profiled callbacks) into a bounded ring
+	// exportable as a Chrome trace (chrome://tracing / Perfetto).
+	Trace *obs.Tracer
+	// Profile opts into per-event wall-clock measurement on every
+	// scheduler (the `des.callback_wall_us` histogram). It costs two
+	// wall-clock reads per event; leave off for benchmarks.
+	Profile bool
+}
+
+// obsPath returns the calibrated path config for a technology/time of
+// day with this run's telemetry options attached.
+func (cfg Config) obsPath(tech radio.Tech, daytime bool) netsim.PathConfig {
+	p := netsim.DefaultPath(tech, daytime)
+	p.Obs = cfg.Obs
+	p.Trace = cfg.Trace
+	p.Profile = cfg.Profile
+	return p
 }
 
 // DefaultConfig returns the full-fidelity configuration with the
@@ -48,6 +78,10 @@ type Result struct {
 	Lines []string
 	// Values holds the headline metrics by name for programmatic checks.
 	Values map[string]float64
+	// Manifest records the run's provenance: seed, config, version,
+	// wall/sim time, events executed and — when Config.Obs was set — the
+	// full metric snapshot.
+	Manifest obs.RunManifest
 }
 
 // Report renders the result as text.
@@ -70,7 +104,15 @@ type Experiment struct {
 var registry []Experiment
 
 func register(id, title string, run func(cfg Config) Result) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+	// Every registered run is wrapped so its Result carries a
+	// RunManifest, regardless of which entry point invoked it.
+	wrapped := func(cfg Config) Result {
+		started := time.Now()
+		res := run(cfg)
+		res.Manifest = obs.NewManifest(id, title, cfg.Seed, cfg.Quick, started, time.Since(started), cfg.Obs)
+		return res
+	}
+	registry = append(registry, Experiment{ID: id, Title: title, Run: wrapped})
 }
 
 // Experiments lists every registered experiment in paper order.
@@ -80,8 +122,12 @@ func Experiments() []Experiment {
 	return out
 }
 
-// orderKey sorts T1..T4, then F2..F23, then the X extensions.
+// orderKey sorts T1..T4, then F2..F23, then the X extensions. Malformed
+// IDs (empty or single-character) sort after everything well-formed.
 func orderKey(id string) int {
+	if len(id) < 2 {
+		return 1 << 30
+	}
 	var n int
 	fmt.Sscanf(id[1:], "%d", &n)
 	switch id[0] {

@@ -3,6 +3,8 @@ package fivegsim
 import (
 	"strings"
 	"testing"
+
+	"fivegsim/internal/obs"
 )
 
 func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
@@ -38,6 +40,74 @@ func TestExperimentsOrdered(t *testing.T) {
 	}
 	if exps[0].ID != "T1" {
 		t.Fatalf("first experiment = %s", exps[0].ID)
+	}
+}
+
+func TestOrderKeyMalformedIDs(t *testing.T) {
+	// Regression: orderKey used to index id[1:] unguarded, so empty and
+	// single-character IDs panicked. They must sort after every
+	// well-formed ID instead.
+	for _, id := range []string{"", "T", "F", "X", "q"} {
+		got := orderKey(id) // must not panic
+		if got <= orderKey("X99") {
+			t.Errorf("orderKey(%q) = %d, want after all well-formed IDs", id, got)
+		}
+	}
+	if !(orderKey("T1") < orderKey("F2") && orderKey("F23") < orderKey("X1")) {
+		t.Error("well-formed ordering broken")
+	}
+}
+
+func TestResultCarriesManifest(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := QuickConfig()
+	cfg.Obs = reg
+	res, err := Run("T1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Manifest
+	if m.ExperimentID != "T1" || m.Seed != 42 || !m.Quick {
+		t.Fatalf("manifest header wrong: %+v", m)
+	}
+	if m.Version == "" || m.WallTime <= 0 {
+		t.Fatalf("manifest provenance missing: version=%q wall=%v", m.Version, m.WallTime)
+	}
+	// T1 is pure computation (no DES), so its snapshot may be empty; the
+	// packet-level experiments' snapshots are covered in
+	// TestObsMetricsFlowThroughExperiment.
+	// Without a registry the manifest still records the headline fields.
+	res2, err := Run("T1", QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Manifest.ExperimentID != "T1" || len(res2.Manifest.Metrics) != 0 {
+		t.Fatalf("obs-off manifest wrong: %+v", res2.Manifest)
+	}
+}
+
+func TestObsMetricsFlowThroughExperiment(t *testing.T) {
+	// The F10 HARQ experiment builds paths on fresh schedulers; with a
+	// registry attached the des and netsim substrates must both report.
+	reg := obs.NewRegistry()
+	cfg := QuickConfig()
+	cfg.Obs = reg
+	res, err := Run("F10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("des.events_fired").Value() == 0 {
+		t.Error("des.events_fired not collected")
+	}
+	if res.Manifest.EventsExecuted == 0 || res.Manifest.SimTime == 0 || len(res.Manifest.Metrics) == 0 {
+		t.Errorf("manifest snapshot incomplete: events=%d sim=%v metrics=%d",
+			res.Manifest.EventsExecuted, res.Manifest.SimTime, len(res.Manifest.Metrics))
+	}
+	if reg.Counter("netsim.pkt_delivered{hop=5G-RAN}").Value() == 0 {
+		t.Error("netsim.pkt_delivered{hop=5G-RAN} not collected")
+	}
+	if reg.Histogram("netsim.occupancy_bytes{hop=5G-RAN}", nil).Count() == 0 {
+		t.Error("occupancy histogram not collected")
 	}
 }
 

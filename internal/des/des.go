@@ -3,11 +3,20 @@
 // All simulations in fivegsim run on simulated time. Events are ordered by
 // (time, sequence) so that two events scheduled for the same instant fire in
 // scheduling order, which keeps runs reproducible.
+//
+// The scheduler is optionally observable: SetObs attaches an obs.Registry
+// (and optionally an obs.Tracer) under the `des.*` metric namespace —
+// events scheduled/fired/canceled, the live queue depth with its
+// high-water mark, and, behind the SetProfile opt-in, a per-callback
+// wall-time histogram. With no registry attached the instrumentation
+// collapses to nil-receiver no-ops.
 package des
 
 import (
 	"container/heap"
 	"time"
+
+	"fivegsim/internal/obs"
 )
 
 // Event is a scheduled callback.
@@ -15,6 +24,7 @@ type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
+	sch *Scheduler
 	// canceled events stay in the heap but are skipped when popped.
 	canceled bool
 }
@@ -25,8 +35,18 @@ type Timer struct{ ev *event }
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled timer is a no-op. A nil Timer is also a no-op.
 func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+	if t == nil || t.ev == nil {
+		return
+	}
+	e := t.ev
+	if e.canceled || e.fired() {
+		return
+	}
+	e.canceled = true
+	e.sch.live--
+	if e.sch.o.on {
+		e.sch.o.canceled.Inc()
+		e.sch.o.depth.Set(int64(e.sch.live))
 	}
 }
 
@@ -55,6 +75,22 @@ func (q *eventQueue) Pop() interface{} {
 	return e
 }
 
+// schedObs holds the pre-resolved instrument handles. All fields are
+// nil (no-op) until SetObs is called; `on` gates the hot-path updates
+// behind a single predictable branch so the detached scheduler stays
+// within a few percent of the uninstrumented one.
+type schedObs struct {
+	on        bool
+	scheduled *obs.Counter
+	fired     *obs.Counter
+	canceled  *obs.Counter
+	depth     *obs.Gauge
+	simTime   *obs.Gauge
+	cbWall    *obs.Histogram
+	tracer    *obs.Tracer
+	profile   bool
+}
+
 // Scheduler is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; simulations are written in the callback style.
 type Scheduler struct {
@@ -62,10 +98,43 @@ type Scheduler struct {
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+	// live counts scheduled-but-not-yet-fired, non-canceled events; it
+	// is what Pending reports (canceled events linger in the heap until
+	// popped but are not pending work).
+	live int
+
+	o schedObs
 }
 
 // New returns a scheduler with the clock at zero.
 func New() *Scheduler { return &Scheduler{} }
+
+// SetObs attaches telemetry under the `des.*` namespace. A nil registry
+// detaches metrics; a nil tracer disables tracing. Call before the run.
+func (s *Scheduler) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg == nil {
+		s.o = schedObs{tracer: tracer, profile: s.o.profile}
+		return
+	}
+	s.o = schedObs{
+		on:        true,
+		scheduled: reg.Counter("des.events_scheduled"),
+		fired:     reg.Counter("des.events_fired"),
+		canceled:  reg.Counter("des.events_canceled"),
+		depth:     reg.Gauge("des.queue_depth"),
+		simTime:   reg.Gauge(obs.MetricSimTime),
+		cbWall:    reg.Histogram("des.callback_wall_us", obs.DurationBuckets),
+		tracer:    tracer,
+		profile:   s.o.profile,
+	}
+}
+
+// SetProfile opts into per-callback wall-time measurement: each fired
+// event is timed with the wall clock, recorded into the
+// `des.callback_wall_us` histogram and, when a tracer is attached,
+// emitted as a span whose duration is the callback's CPU time. This
+// costs two time.Now() calls per event; leave it off for benchmarks.
+func (s *Scheduler) SetProfile(on bool) { s.o.profile = on }
 
 // Now returns the current simulated time.
 func (s *Scheduler) Now() time.Duration { return s.now }
@@ -77,8 +146,13 @@ func (s *Scheduler) At(at time.Duration, fn func()) *Timer {
 		at = s.now
 	}
 	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := &event{at: at, seq: s.seq, fn: fn, sch: s}
 	heap.Push(&s.queue, ev)
+	s.live++
+	if s.o.on {
+		s.o.scheduled.Inc()
+		s.o.depth.Set(int64(s.live))
+	}
 	return &Timer{ev: ev}
 }
 
@@ -93,9 +167,13 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
 // Stop halts Run/RunUntil after the current event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending reports the number of events still queued (including canceled
-// events that have not yet been reaped).
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending reports the number of live events still queued. Canceled
+// events awaiting heap reaping are not counted.
+func (s *Scheduler) Pending() int { return s.live }
+
+// QueueLen reports the raw heap length, including canceled-but-unreaped
+// events (diagnostic; Pending is the queue-depth metric).
+func (s *Scheduler) QueueLen() int { return len(s.queue) }
 
 // step executes the next event. It reports false when the queue is empty.
 func (s *Scheduler) step(limit time.Duration, bounded bool) bool {
@@ -111,7 +189,20 @@ func (s *Scheduler) step(limit time.Duration, bounded bool) bool {
 		s.now = next.at
 		fn := next.fn
 		next.fn = nil
-		fn()
+		s.live--
+		if s.o.on {
+			s.o.fired.Inc()
+			s.o.depth.Set(int64(s.live))
+		}
+		if s.o.profile {
+			t0 := time.Now()
+			fn()
+			wall := time.Since(t0)
+			s.o.cbWall.Observe(float64(wall) / float64(time.Microsecond))
+			s.o.tracer.WallSpan("des.callback", "des", next.at, wall)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -121,6 +212,9 @@ func (s *Scheduler) step(limit time.Duration, bounded bool) bool {
 func (s *Scheduler) Run() {
 	s.stopped = false
 	for !s.stopped && s.step(0, false) {
+	}
+	if s.o.on {
+		s.o.simTime.Set(int64(s.now))
 	}
 }
 
@@ -132,5 +226,8 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 	}
 	if s.now < deadline {
 		s.now = deadline
+	}
+	if s.o.on {
+		s.o.simTime.Set(int64(s.now))
 	}
 }

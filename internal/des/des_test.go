@@ -3,6 +3,8 @@ package des
 import (
 	"testing"
 	"time"
+
+	"fivegsim/internal/obs"
 )
 
 func TestSchedulerOrdering(t *testing.T) {
@@ -107,6 +109,123 @@ func TestSchedulerPastEventClamped(t *testing.T) {
 	s.Run()
 	if at != 5*time.Second {
 		t.Fatalf("past event ran at %v, want clamped to 5s", at)
+	}
+}
+
+func TestTimerActiveLifecycle(t *testing.T) {
+	s := New()
+	tm := s.After(time.Second, func() {})
+	if !tm.Active() {
+		t.Fatal("timer should be active while pending")
+	}
+	s.Run()
+	if tm.Active() {
+		t.Fatal("timer should be inactive after firing")
+	}
+	tm.Cancel() // canceling a fired timer is a no-op
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after post-fire cancel, want 0", s.Pending())
+	}
+
+	tm2 := s.After(time.Second, func() {})
+	tm2.Cancel()
+	if tm2.Active() {
+		t.Fatal("timer should be inactive after cancel")
+	}
+	tm2.Cancel() // double-cancel is a no-op
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after double cancel, want 0", s.Pending())
+	}
+}
+
+func TestRunUntilEventExactlyAtDeadline(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(2*time.Second, func() { fired = true })
+	s.RunUntil(2 * time.Second)
+	if !fired {
+		t.Fatal("event exactly at the deadline must fire")
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now = %v, want 2s", s.Now())
+	}
+}
+
+func TestAtPastTimestampWithObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.SetObs(reg, nil)
+	var firedAt time.Duration = -1
+	s.At(3*time.Second, func() {
+		// Schedule into the past twice; both must clamp to now and fire.
+		s.At(time.Second, func() { firedAt = s.Now() })
+		s.At(-time.Hour, func() {})
+	})
+	s.Run()
+	if firedAt != 3*time.Second {
+		t.Fatalf("past event ran at %v, want clamped to 3s", firedAt)
+	}
+	if got := reg.Counter("des.events_fired").Value(); got != 3 {
+		t.Fatalf("des.events_fired = %d, want 3", got)
+	}
+	if got := reg.Counter("des.events_scheduled").Value(); got != 3 {
+		t.Fatalf("des.events_scheduled = %d, want 3", got)
+	}
+	if got := reg.Gauge(obs.MetricSimTime).Max(); got != int64(3*time.Second) {
+		t.Fatalf("des.sim_time_ns max = %d, want %d", got, int64(3*time.Second))
+	}
+}
+
+func TestPendingExcludesCanceled(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New()
+	s.SetObs(reg, nil)
+	var timers []*Timer
+	for i := 1; i <= 6; i++ {
+		timers = append(timers, s.At(time.Duration(i)*time.Second, func() {}))
+	}
+	timers[1].Cancel()
+	timers[3].Cancel()
+	if s.Pending() != 4 {
+		t.Fatalf("Pending = %d after 2 cancels, want 4", s.Pending())
+	}
+	if s.QueueLen() != 6 {
+		t.Fatalf("QueueLen = %d (canceled events linger until reaped), want 6", s.QueueLen())
+	}
+	if got := reg.Gauge("des.queue_depth").Value(); got != 4 {
+		t.Fatalf("des.queue_depth = %d, want 4", got)
+	}
+	if got := reg.Gauge("des.queue_depth").Max(); got != 6 {
+		t.Fatalf("des.queue_depth high-water = %d, want 6", got)
+	}
+	s.Run()
+	if s.Pending() != 0 || s.QueueLen() != 0 {
+		t.Fatalf("Pending/QueueLen = %d/%d after drain, want 0/0", s.Pending(), s.QueueLen())
+	}
+	if got := reg.Counter("des.events_canceled").Value(); got != 2 {
+		t.Fatalf("des.events_canceled = %d, want 2", got)
+	}
+	if got := reg.Counter("des.events_fired").Value(); got != 4 {
+		t.Fatalf("des.events_fired = %d, want 4", got)
+	}
+}
+
+func TestSchedulerProfileHistogram(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	s := New()
+	s.SetObs(reg, tr)
+	s.SetProfile(true)
+	for i := 0; i < 5; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {})
+	}
+	s.Run()
+	h := reg.Histogram("des.callback_wall_us", obs.DurationBuckets)
+	if h.Count() != 5 {
+		t.Fatalf("callback_wall_us count = %d, want 5", h.Count())
+	}
+	if got := len(tr.Events()); got != 5 {
+		t.Fatalf("tracer recorded %d spans, want 5", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package energy
 import (
 	"time"
 
+	"fivegsim/internal/obs"
 	"fivegsim/internal/radio"
 )
 
@@ -45,6 +46,23 @@ type ReplayResult struct {
 	Series   []PowerSample
 	InState  map[State]time.Duration
 	Switches int // 4G↔5G transitions (dynamic model only)
+}
+
+// RecordObs mirrors the replay outcome into reg under the
+// `energy.*{model=...}` namespace: per-state residency counters
+// (milliseconds), total energy (millijoules), replay duration and radio
+// switches. Nil-safe on a nil registry.
+func (r ReplayResult) RecordObs(reg *obs.Registry, model Model) {
+	if reg == nil {
+		return
+	}
+	label := "{model=" + model.String() + "}"
+	for state, d := range r.InState {
+		reg.Counter("energy.state_ms{model=" + model.String() + ",state=" + state.String() + "}").Add(d.Milliseconds())
+	}
+	reg.Counter("energy.total_mj" + label).Add(int64(r.EnergyJ * 1000))
+	reg.Counter("energy.replay_ms" + label).Add(r.Duration.Milliseconds())
+	reg.Counter("energy.radio_switches" + label).Add(int64(r.Switches))
 }
 
 // Model selects a §6.3 power-management strategy.

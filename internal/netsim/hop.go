@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"fivegsim/internal/des"
+	"fivegsim/internal/obs"
 )
 
 // Hop is one store-and-forward element: a drop-tail FIFO buffer feeding a
@@ -35,6 +36,41 @@ type Hop struct {
 
 	// OnDrop, if set, observes every dropped packet.
 	OnDrop func(p *Packet)
+
+	// Telemetry handles (nil = off), resolved once by SetObs.
+	cEnq   *obs.Counter
+	cDrop  *obs.Counter
+	cFwd   *obs.Counter
+	cBytes *obs.Counter
+	occ    *obs.Histogram
+	trace  *obs.Tracer
+}
+
+// SetObs attaches `netsim.*{hop=Name}` instruments: packets
+// enqueued/dropped/delivered, delivered bytes, and a buffer-occupancy
+// histogram sampled at each enqueue. Drops additionally emit tracer
+// instants so overflow episodes are visible on the trace timeline.
+func (h *Hop) SetObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil && tr == nil {
+		return
+	}
+	label := "{hop=" + h.Name + "}"
+	h.cEnq = reg.Counter("netsim.pkt_enqueued" + label)
+	h.cDrop = reg.Counter("netsim.pkt_dropped" + label)
+	h.cFwd = reg.Counter("netsim.pkt_delivered" + label)
+	h.cBytes = reg.Counter("netsim.bytes_delivered" + label)
+	h.occ = reg.Histogram("netsim.occupancy_bytes"+label, obs.ByteBuckets)
+	h.trace = tr
+}
+
+// drop records one dropped packet in the stats and telemetry.
+func (h *Hop) drop(p *Packet) {
+	h.Dropped++
+	h.cDrop.Inc()
+	h.trace.Instant("drop "+h.Name, "netsim", h.sch.Now())
+	if h.OnDrop != nil {
+		h.OnDrop(p)
+	}
 }
 
 // NewHop creates a hop serving at rateBps (callable, so radio hops can be
@@ -62,23 +98,17 @@ func (h *Hop) Receive(p *Packet) {
 		relief = h.limitBytes / 2
 	}
 	if h.lockout && h.queuedBytes > h.limitBytes-relief {
-		h.Dropped++
-		if h.OnDrop != nil {
-			h.OnDrop(p)
-		}
+		h.drop(p)
 		return
 	}
 	h.lockout = false
 	if h.queuedBytes+p.Wire > h.limitBytes {
-		h.Dropped++
 		h.lockout = true
 		if !h.inDrop {
 			h.DropEvents++
 			h.inDrop = true
 		}
-		if h.OnDrop != nil {
-			h.OnDrop(p)
-		}
+		h.drop(p)
 		return
 	}
 	h.inDrop = false
@@ -87,6 +117,8 @@ func (h *Hop) Receive(p *Packet) {
 	if h.queuedBytes > h.MaxQueued {
 		h.MaxQueued = h.queuedBytes
 	}
+	h.cEnq.Inc()
+	h.occ.Observe(float64(h.queuedBytes))
 	if !h.busy {
 		h.serve()
 	}
@@ -114,6 +146,8 @@ func (h *Hop) serve() {
 	txTime := time.Duration(float64(p.Wire*8) / rate * float64(time.Second))
 	h.sch.After(txTime, func() {
 		h.Forwarded++
+		h.cFwd.Inc()
+		h.cBytes.Add(int64(p.Wire))
 		target := h.next
 		h.sch.After(h.prop, func() { target.Receive(p) })
 		h.serve()

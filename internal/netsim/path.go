@@ -1,9 +1,11 @@
 package netsim
 
 import (
+	"strconv"
 	"time"
 
 	"fivegsim/internal/des"
+	"fivegsim/internal/obs"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/rng"
 )
@@ -38,6 +40,14 @@ type PathConfig struct {
 
 	Cross CrossConfig
 	Seed  int64
+
+	// Obs, when non-nil, collects `des.*` and `netsim.*` metrics for
+	// every hop and scheduler this path is built on. Trace additionally
+	// records drop/outage instants (and, with Profile, per-callback
+	// spans) into the bounded trace ring. All three default to off.
+	Obs     *obs.Registry
+	Trace   *obs.Tracer
+	Profile bool
 }
 
 // DefaultPath returns the calibrated path for a technology/time of day.
@@ -123,8 +133,15 @@ func NewPath(sch *des.Scheduler, cfg PathConfig) *Path {
 	p := &Path{Sch: sch, Cfg: cfg}
 	src := rng.New(cfg.Seed)
 
+	if cfg.Obs != nil || cfg.Trace != nil {
+		sch.SetObs(cfg.Obs, cfg.Trace)
+		sch.SetProfile(cfg.Profile)
+	}
+	flowBytes := newFlowCounters(cfg.Obs)
+
 	// Downlink, built back to front.
 	ueDeliver := ReceiverFunc(func(pkt *Packet) {
+		flowBytes.add(pkt)
 		if p.ToUE != nil {
 			p.ToUE.Receive(pkt)
 		}
@@ -163,7 +180,47 @@ func NewPath(sch *des.Scheduler, cfg PathConfig) *Path {
 		cfg.RANOneWay, 2_000_000, ulWired)
 	p.UEIngress = p.UplinkRAN
 
+	if cfg.Obs != nil || cfg.Trace != nil {
+		p.RAN.SetObs(cfg.Obs, cfg.Trace)
+		core.SetObs(cfg.Obs, cfg.Trace)
+		p.Bottleneck.SetObs(cfg.Obs, cfg.Trace)
+		serverWired.SetObs(cfg.Obs, cfg.Trace)
+		ulWired.SetObs(cfg.Obs, cfg.Trace)
+		p.UplinkRAN.SetObs(cfg.Obs, cfg.Trace)
+	}
+
 	return p
+}
+
+// flowCounters caches per-flow delivered-byte counters so the per-packet
+// delivery path never takes the registry lock. Small flow IDs (the
+// foreground flows) hit a fixed array; others fall back to one shared
+// overflow counter.
+type flowCounters struct {
+	small [8]*obs.Counter
+	other *obs.Counter
+}
+
+func newFlowCounters(reg *obs.Registry) *flowCounters {
+	if reg == nil {
+		return nil
+	}
+	fc := &flowCounters{other: reg.Counter("netsim.flow_bytes{flow=other}")}
+	for i := range fc.small {
+		fc.small[i] = reg.Counter("netsim.flow_bytes{flow=" + strconv.Itoa(i) + "}")
+	}
+	return fc
+}
+
+func (fc *flowCounters) add(p *Packet) {
+	if fc == nil {
+		return
+	}
+	c := fc.other
+	if p.FlowID >= 0 && p.FlowID < len(fc.small) {
+		c = fc.small[p.FlowID]
+	}
+	c.Add(int64(p.Len))
 }
 
 // SetRANRate changes the downlink radio goodput (e.g. PRB contention or a
@@ -179,5 +236,6 @@ func (p *Path) SetRANRate(bps float64) {
 
 // Outage interrupts the radio in both directions for d (hand-off).
 func (p *Path) Outage(d time.Duration) {
+	p.Cfg.Trace.Span("outage", "netsim", p.Sch.Now(), d)
 	p.RAN.SetOutage(d)
 }

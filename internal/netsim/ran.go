@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fivegsim/internal/des"
+	"fivegsim/internal/obs"
 	"fivegsim/internal/radio"
 )
 
@@ -38,6 +39,31 @@ type RANHop struct {
 	MaxQueued    int
 	AttemptsHist [8]int64 // HARQ attempts histogram (index = attempts, capped)
 	ResidualLoss int64
+
+	// Telemetry handles (nil = off), resolved once by SetObs.
+	cEnq   *obs.Counter
+	cDrop  *obs.Counter
+	cFwd   *obs.Counter
+	cBytes *obs.Counter
+	cRetx  *obs.Counter
+	occ    *obs.Histogram
+	trace  *obs.Tracer
+}
+
+// SetObs attaches `netsim.*{hop=Name}` instruments, plus a HARQ
+// retransmission counter (attempts beyond the first).
+func (h *RANHop) SetObs(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil && tr == nil {
+		return
+	}
+	label := "{hop=" + h.Name + "}"
+	h.cEnq = reg.Counter("netsim.pkt_enqueued" + label)
+	h.cDrop = reg.Counter("netsim.pkt_dropped" + label)
+	h.cFwd = reg.Counter("netsim.pkt_delivered" + label)
+	h.cBytes = reg.Counter("netsim.bytes_delivered" + label)
+	h.cRetx = reg.Counter("netsim.harq_retx" + label)
+	h.occ = reg.Histogram("netsim.occupancy_bytes"+label, obs.ByteBuckets)
+	h.trace = tr
 }
 
 // NewRANHop builds the radio hop for a technology. rateBps is the
@@ -77,6 +103,8 @@ func (h *RANHop) SetOutage(d time.Duration) {
 func (h *RANHop) Receive(p *Packet) {
 	if h.queuedBytes+p.Wire > h.limit {
 		h.Dropped++
+		h.cDrop.Inc()
+		h.trace.Instant("drop "+h.Name, "netsim", h.sch.Now())
 		return
 	}
 	h.queue = append(h.queue, p)
@@ -84,6 +112,8 @@ func (h *RANHop) Receive(p *Packet) {
 	if h.queuedBytes > h.MaxQueued {
 		h.MaxQueued = h.queuedBytes
 	}
+	h.cEnq.Inc()
+	h.occ.Observe(float64(h.queuedBytes))
 	if !h.busy {
 		h.serve()
 	}
@@ -115,6 +145,9 @@ func (h *RANHop) serve() {
 		idx = len(h.AttemptsHist) - 1
 	}
 	h.AttemptsHist[idx]++
+	if attempts > 1 {
+		h.cRetx.Add(int64(attempts - 1))
+	}
 	// Each attempt occupies airtime; the scheduler's parallel HARQ
 	// processes keep the link busy meanwhile, so the serializer is held
 	// only for the airtime while the HARQ round trips show up as extra
@@ -126,6 +159,8 @@ func (h *RANHop) serve() {
 			h.ResidualLoss++ // probability ≈ 10⁻⁵⁶; tracked for completeness
 		} else {
 			h.Forwarded++
+			h.cFwd.Inc()
+			h.cBytes.Add(int64(p.Wire))
 			target := h.next
 			// RLC in-order delivery: a block held up by HARQ round trips
 			// also holds back its successors (head-of-line jitter), so

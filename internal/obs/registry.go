@@ -1,0 +1,379 @@
+// Package obs is the simulator-wide telemetry substrate: a registry of
+// named counters, gauges and fixed-bucket histograms, a bounded tracer
+// with Chrome-trace export, and the run manifest attached to every
+// experiment result.
+//
+// The package is zero-dependency and allocation-light by design. All
+// instrument handles are nil-safe: a nil *Registry hands out nil
+// *Counter/*Gauge/*Histogram handles whose methods are no-ops, so
+// instrumented code pays only a nil check when telemetry is off. Handles
+// are safe for concurrent use (atomics throughout); handle creation
+// takes a registry lock and is meant for setup paths, not hot loops.
+//
+// Metric names follow the `pkg.metric{label=value}` convention, e.g.
+// `des.events_fired` or `netsim.pkt_dropped{hop=bottleneck}`. Snapshots
+// render in sorted name order.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v int64 }
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, n)
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe (0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is an instantaneous int64 level that also remembers its
+// high-water mark (the max ever Set), which is what queue-depth and
+// buffer-occupancy metrics report.
+type Gauge struct {
+	v   int64
+	max int64
+}
+
+// Set stores the current level and updates the high-water mark. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreInt64(&g.v, v)
+	for {
+		m := atomic.LoadInt64(&g.max)
+		if v <= m || atomic.CompareAndSwapInt64(&g.max, m, v) {
+			return
+		}
+	}
+}
+
+// Add shifts the current level by delta. Nil-safe.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	v := atomic.AddInt64(&g.v, delta)
+	for {
+		m := atomic.LoadInt64(&g.max)
+		if v <= m || atomic.CompareAndSwapInt64(&g.max, m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level. Nil-safe (0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Max returns the high-water mark. Nil-safe (0).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.max)
+}
+
+// Histogram is a fixed-bucket histogram over float64 observations.
+// Buckets are cumulative-style upper bounds plus an implicit +Inf
+// overflow bucket; sum/count/min/max are tracked exactly, quantiles are
+// estimated by linear interpolation inside the landing bucket.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; len(counts) == len(bounds)+1
+	counts []int64
+	count  int64
+	sum    uint64 // float64 bits, CAS-updated
+	min    uint64 // float64 bits
+	max    uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]int64, len(b)+1),
+		min:    math.Float64bits(math.Inf(1)),
+		max:    math.Float64bits(math.Inf(-1)),
+	}
+}
+
+// Observe records one sample. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.count, 1)
+	addFloat(&h.sum, v)
+	casFloat(&h.min, v, func(cur float64) bool { return v < cur })
+	casFloat(&h.max, v, func(cur float64) bool { return v > cur })
+}
+
+func addFloat(bits *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(bits)
+		if atomic.CompareAndSwapUint64(bits, old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func casFloat(bits *uint64, v float64, better func(cur float64) bool) {
+	for {
+		old := atomic.LoadUint64(bits)
+		if !better(math.Float64frombits(old)) {
+			return
+		}
+		if atomic.CompareAndSwapUint64(bits, old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations. Nil-safe (0).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.count)
+}
+
+// Sum returns the sum of observations. Nil-safe (0).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.sum))
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the landing bucket, clamped to the observed min/max. Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.Count() == 0 {
+		return 0
+	}
+	target := q * float64(h.Count())
+	var cum float64
+	lo := math.Float64frombits(atomic.LoadUint64(&h.min))
+	for i, bound := range h.bounds {
+		c := float64(atomic.LoadInt64(&h.counts[i]))
+		if cum+c >= target && c > 0 {
+			frac := (target - cum) / c
+			v := lo + frac*(bound-lo)
+			return clampQ(h, v)
+		}
+		cum += c
+		if bound > lo {
+			lo = bound
+		}
+	}
+	return math.Float64frombits(atomic.LoadUint64(&h.max))
+}
+
+func clampQ(h *Histogram, v float64) float64 {
+	if mn := math.Float64frombits(atomic.LoadUint64(&h.min)); v < mn {
+		v = mn
+	}
+	if mx := math.Float64frombits(atomic.LoadUint64(&h.max)); v > mx {
+		v = mx
+	}
+	return v
+}
+
+// Default bucket ladders for the simulator's common units.
+var (
+	// DurationBuckets covers event-callback and RTT-style latencies in
+	// microseconds: 1 µs … ~16 s, ×2 per bucket.
+	DurationBuckets = expBuckets(1, 2, 24)
+	// ByteBuckets covers queue/buffer occupancies: 1 KiB … 64 MiB.
+	ByteBuckets = expBuckets(1024, 2, 17)
+)
+
+// expBuckets returns n upper bounds start, start·f, start·f², …
+func expBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Registry is a concurrent-safe collection of named instruments.
+// The zero value is not usable; use NewRegistry. A nil *Registry is the
+// telemetry-off state: it hands out nil handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Nil-safe: a nil registry returns a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use (later calls reuse the first bounds).
+// Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Metric is one snapshotted instrument.
+type Metric struct {
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // counter | gauge | histogram
+	Value float64 `json:"value"`
+	// Gauge extras.
+	Max float64 `json:"max,omitempty"`
+	// Histogram extras (Value carries the mean).
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// Snapshot captures every instrument, sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: float64(g.Value()), Max: float64(g.Max())})
+	}
+	for name, h := range r.hists {
+		m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+		if m.Count > 0 {
+			m.Value = m.Sum / float64(m.Count)
+			m.Min = math.Float64frombits(atomic.LoadUint64(&h.min))
+			m.Max = math.Float64frombits(atomic.LoadUint64(&h.max))
+			m.P50 = h.Quantile(0.50)
+			m.P90 = h.Quantile(0.90)
+			m.P99 = h.Quantile(0.99)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders one metric as an exposition line.
+func (m Metric) String() string {
+	switch m.Kind {
+	case "gauge":
+		return fmt.Sprintf("%-44s %12.0f  max=%.0f", m.Name, m.Value, m.Max)
+	case "histogram":
+		return fmt.Sprintf("%-44s count=%d sum=%.6g mean=%.6g min=%.6g max=%.6g p50=%.6g p90=%.6g p99=%.6g",
+			m.Name, m.Count, m.Sum, m.Value, m.Min, m.Max, m.P50, m.P90, m.P99)
+	default:
+		return fmt.Sprintf("%-44s %12.0f", m.Name, m.Value)
+	}
+}
+
+// WriteText writes the sorted text exposition of the registry.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if _, err := fmt.Fprintln(w, m.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Text returns the sorted text exposition as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// WriteJSON writes the snapshot as a JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

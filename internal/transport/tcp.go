@@ -99,6 +99,7 @@ func NewConn(sch *des.Scheduler, path *netsim.Path, ctrlName string, limit int64
 	if c.ctrl == nil {
 		panic("transport: unknown congestion controller " + ctrlName)
 	}
+	c.ctrl = cc.Instrument(c.ctrl, path.Cfg.Obs)
 	c.pacing = c.ctrl.PacingRate() > 0
 	path.ToUE = netsim.ReceiverFunc(c.onData)
 	path.ToServer = netsim.ReceiverFunc(c.onAck)

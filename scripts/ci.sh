@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate for fivegsim: vet, build, the tier-1 test suite, and the same
+# suite under the race detector (the obs registry is the only shared
+# mutable state; atomics keep it race-clean).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all green"

@@ -9,13 +9,24 @@ build:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
+# Race pass over the parallel campaign engine: -short trims the long
+# statistical sweeps to one seed but always runs the Workers=8 paths
+# (TestRunAllParallelRace and the worker-equivalence tests).
 race:
+	$(GO) test -race -short ./...
+
+# The unabridged suite under the race detector (slow; not part of ci).
+race-full:
 	$(GO) test -race ./...
 
 # Scheduler/telemetry overhead benches plus the per-figure benches.
 bench:
 	$(GO) test -run xxx -bench=BenchmarkSchedulerObs -benchtime=2s .
 	$(GO) test -run xxx -bench=. -benchmem .
+
+# Serial vs parallel wall-clock of the full quick campaign.
+bench-workers:
+	$(GO) test -run xxx -bench=BenchmarkRunAllWorkers -benchtime=1x .
 
 ci:
 	./scripts/ci.sh

@@ -65,6 +65,27 @@ func BenchmarkFigure21_PowerBreakdown(b *testing.B)   { benchExperiment(b, "F21"
 func BenchmarkFigure22_EnergyPerBit(b *testing.B)     { benchExperiment(b, "F22", "ratioAt50s") }
 func BenchmarkFigure23_EnergyTrace(b *testing.B)      { benchExperiment(b, "F23", "ratio") }
 
+// Campaign-engine benches: the full quick campaign serially and on an
+// 8-worker pool. Reports are bit-identical either way (the determinism
+// contract, see DESIGN.md); only wall-clock may differ. A full RunAll is
+// minutes of work — run these with `-benchtime=1x`:
+//
+//	go test -run xxx -bench BenchmarkRunAllWorkers -benchtime=1x .
+
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	cfg := QuickConfig()
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if res := RunAll(cfg); len(res) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+func BenchmarkRunAllWorkers1(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllWorkers8(b *testing.B) { benchRunAll(b, 8) }
+
 // Telemetry overhead benches: the DES scheduler with observability
 // detached (the default), attached, and attached with per-callback
 // profiling. The no-op path is the one every pre-existing experiment

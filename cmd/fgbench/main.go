@@ -5,11 +5,15 @@
 //
 //	fgbench                 # run everything at full fidelity
 //	fgbench -quick          # reduced durations (CI-friendly)
+//	fgbench -workers 0      # parallel campaign engine (0 = all cores)
 //	fgbench -run F7,T4      # a subset
 //	fgbench -list           # enumerate experiments
 //	fgbench -metrics        # print the telemetry snapshot per run
 //	fgbench -trace out.json # export a Chrome trace (Perfetto-loadable)
 //	fgbench -manifest m.json# write the run manifests as JSON (see fgobs)
+//
+// Reports are bit-identical for every -workers value: the engine shards
+// work deterministically and merges in paper order (see DESIGN.md).
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced-duration runs")
 	seed := flag.Int64("seed", 42, "experiment seed")
+	workers := flag.Int("workers", 1, "campaign-engine goroutines: 0 = all cores, 1 = serial")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	metrics := flag.Bool("metrics", false, "collect and print the metrics snapshot after each experiment")
@@ -47,41 +52,42 @@ func main() {
 		tracer = obs.NewTracer(0)
 	}
 
-	ids := map[string]bool{}
+	var ids []string
 	if *run != "" {
 		for _, id := range strings.Split(*run, ",") {
-			ids[strings.TrimSpace(id)] = true
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
 		}
 	}
 
+	cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Trace: tracer, Profile: *profile}
+	if collect {
+		// RunExperiments gives every experiment its own sub-registry, so
+		// each manifest's snapshot is attributable to that run alone;
+		// cfg.Obs accumulates the campaign-wide merge.
+		cfg.Obs = obs.NewRegistry()
+	}
 	start := time.Now()
-	ran := 0
-	var manifests []obs.RunManifest
-	for _, e := range fivegsim.Experiments() {
-		if len(ids) > 0 && !ids[e.ID] {
-			continue
-		}
-		cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Trace: tracer, Profile: *profile}
-		if collect {
-			// A fresh registry per experiment keeps each manifest's
-			// snapshot attributable to that run alone.
-			cfg.Obs = obs.NewRegistry()
-		}
-		t0 := time.Now()
-		res := e.Run(cfg)
+	results, err := fivegsim.RunExperiments(cfg, ids...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgbench: %v; try -list\n", err)
+		os.Exit(1)
+	}
+	manifests := make([]obs.RunManifest, 0, len(results))
+	for _, res := range results {
 		fmt.Print(res.Report())
-		fmt.Printf("  (%.1fs)\n\n", time.Since(t0).Seconds())
+		fmt.Printf("  (%.1fs)\n\n", res.Manifest.WallTime.Seconds())
 		if *metrics {
-			fmt.Printf("-- metrics %s (events=%d, sim=%s, wall=%s) --\n%s\n",
-				e.ID, res.Manifest.EventsExecuted, res.Manifest.SimTime,
-				res.Manifest.WallTime.Round(time.Millisecond), cfg.Obs.Text())
+			fmt.Printf("-- metrics %s (events=%d, sim=%s, wall=%s) --\n",
+				res.ID, res.Manifest.EventsExecuted, res.Manifest.SimTime,
+				res.Manifest.WallTime.Round(time.Millisecond))
+			for _, m := range res.Manifest.Metrics {
+				fmt.Println(m.String())
+			}
+			fmt.Println()
 		}
 		manifests = append(manifests, res.Manifest)
-		ran++
-	}
-	if ran == 0 {
-		fmt.Fprintln(os.Stderr, "fgbench: no experiments matched -run; try -list")
-		os.Exit(1)
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, tracer); err != nil {
@@ -98,8 +104,8 @@ func main() {
 		}
 		fmt.Printf("wrote %d manifests to %s\n", len(manifests), *manifestPath)
 	}
-	fmt.Printf("regenerated %d experiments in %.1fs (seed %d, quick=%v)\n",
-		ran, time.Since(start).Seconds(), *seed, *quick)
+	fmt.Printf("regenerated %d experiments in %.1fs (seed %d, quick=%v, workers=%d)\n",
+		len(results), time.Since(start).Seconds(), *seed, *quick, *workers)
 }
 
 func writeTrace(path string, tracer *obs.Tracer) error {

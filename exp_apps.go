@@ -21,7 +21,7 @@ func init() {
 }
 
 func runFig13(cfg Config) Result {
-	pairs := wire.RTTScatter(cfg.Seed)
+	pairs := wire.RTTScatter(cfg.Seed, cfg.Workers)
 	s := wire.Summarize(pairs)
 	res := Result{
 		ID: "F13", Title: "RTT scatter over the Table 6 servers",
@@ -60,7 +60,7 @@ func runFig14(cfg Config) Result {
 }
 
 func runFig15(cfg Config) Result {
-	bins := wire.RTTvsDistance(cfg.Seed)
+	bins := wire.RTTvsDistance(cfg.Seed, cfg.Workers)
 	res := Result{ID: "F15", Title: "RTT vs path distance", Values: map[string]float64{}}
 	for _, b := range bins {
 		if b.RTT5G.N == 0 {

@@ -29,7 +29,7 @@ func init() {
 
 func runTable1(cfg Config) Result {
 	c := deploy.New(cfg.Seed)
-	s := coverage.Run(c, surveySamples(cfg), cfg.Seed)
+	s := coverage.RunParallel(c, surveySamples(cfg), cfg.Seed, cfg.Workers)
 	nr := s.RSRPSummary(radio.NR)
 	lte := s.RSRPSummary(radio.LTE)
 	return Result{
@@ -51,7 +51,7 @@ func runTable1(cfg Config) Result {
 
 func runTable2(cfg Config) Result {
 	c := deploy.New(cfg.Seed)
-	s := coverage.Run(c, surveySamples(cfg), cfg.Seed)
+	s := coverage.RunParallel(c, surveySamples(cfg), cfg.Seed, cfg.Workers)
 	res := Result{ID: "T2", Title: "RSRP distribution", Values: map[string]float64{}}
 	paper := map[string][6]float64{
 		"4G":        {0.13, 5.56, 23.60, 39.20, 29.74, 1.77},
@@ -133,8 +133,14 @@ func runFig4(cfg Config) Result {
 	c := deploy.New(cfg.Seed)
 	series, hoIdx := handoff.CaseStudy(c, cfg.Seed)
 	res := Result{ID: "F4", Title: "RSRQ evolution during hand-off", Values: map[string]float64{"hoIdx": float64(hoIdx)}}
-	res.Lines = append(res.Lines, line("hand-off PCI %d → %d at sample %d (t=%.1fs)",
-		226, 44, hoIdx, series[hoIdx].At.Seconds()))
+	if hoIdx >= 0 {
+		res.Lines = append(res.Lines, line("hand-off PCI %d → %d at sample %d (t=%.1fs)",
+			226, 44, hoIdx, series[hoIdx].At.Seconds()))
+	} else {
+		// Some deployment jitters never trip A3 along the fixed walk; the
+		// trace is still reported, just without a hand-off marker.
+		res.Lines = append(res.Lines, line("no hand-off triggered along the case-study walk (seed %d)", cfg.Seed))
+	}
 	step := len(series) / 12
 	for i := 0; i < len(series); i += step {
 		s := series[i]
@@ -146,22 +152,17 @@ func runFig4(cfg Config) Result {
 
 func campaignFor(cfg Config) *handoff.Campaign {
 	hcfg := handoff.DefaultConfig()
-	seeds := int64(4)
+	walks := 4
 	hcfg.Duration = 40 * time.Minute
 	if cfg.Quick {
 		hcfg.Duration = 10 * time.Minute
-		seeds = 2
+		walks = 2
 	}
 	campus := deploy.New(cfg.Seed)
-	all := &handoff.Campaign{MeasEvents: map[handoff.EventType]int{}}
-	for s := int64(1); s <= seeds; s++ {
-		c := handoff.RunCampaign(campus, hcfg, cfg.Seed+s)
-		all.Events = append(all.Events, c.Events...)
-		for k, v := range c.MeasEvents {
-			all.MeasEvents[k] += v
-		}
-	}
-	return all
+	// Walk i runs with seed cfg.Seed+1+i, the same ladder the serial
+	// loop used; walks execute across cfg.Workers goroutines and merge
+	// in walk order, so the campaign is identical for any worker count.
+	return handoff.RunCampaigns(campus, hcfg, cfg.Seed, walks, cfg.Workers)
 }
 
 func runFig5(cfg Config) Result {

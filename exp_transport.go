@@ -7,6 +7,8 @@ import (
 	"fivegsim/internal/des"
 	"fivegsim/internal/handoff"
 	"fivegsim/internal/netsim"
+	"fivegsim/internal/obs"
+	"fivegsim/internal/par"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/rng"
 	"fivegsim/internal/stats"
@@ -43,8 +45,12 @@ func runTable3(cfg Config) Result {
 	if cfg.Quick {
 		d = 8 * time.Second
 	}
-	nr := wire.EstimateBuffers(radio.NR, d, cfg.Seed)
-	lte := wire.EstimateBuffers(radio.LTE, d, cfg.Seed)
+	// The two technologies' estimation runs are independent DES worlds;
+	// fan them out when workers allow.
+	ests := par.Map(cfg.Workers, 2, func(i int) wire.BufferEstimate {
+		return wire.EstimateBuffers([]radio.Tech{radio.NR, radio.LTE}[i], d, cfg.Seed)
+	})
+	nr, lte := ests[0], ests[1]
 	return Result{
 		ID: "T3", Title: "Buffer sizes (60 B packets at an assumed 1 Gb/s)",
 		Lines: []string{
@@ -133,20 +139,35 @@ func runFig8(cfg Config) Result {
 func runFig9(cfg Config) Result {
 	res := Result{ID: "F9", Title: "UDP loss vs load", Values: map[string]float64{}}
 	paper5 := map[string]float64{"1/5": 0.5, "1/4": 0.7, "1/3": 1.0, "1/2": 3.1, "1": 4.5}
-	for _, tech := range []radio.Tech{radio.NR, radio.LTE} {
-		pcfg := cfg.obsPath(tech, true)
+	techs := []radio.Tech{radio.NR, radio.LTE}
+	loads := []struct {
+		name string
+		frac float64
+	}{{"1/5", 0.2}, {"1/4", 0.25}, {"1/3", 1.0 / 3}, {"1/2", 0.5}, {"1", 1}}
+	// Each tech × load point is an independent DES world: fan the sweep
+	// out across cfg.Workers, one sub-registry per point, merged in sweep
+	// order; rows are assembled from the ordered results afterwards.
+	type point struct {
+		loss float64
+		reg  *obs.Registry
+	}
+	points := par.Map(cfg.Workers, len(techs)*len(loads), func(k int) point {
+		c, reg := cfg.shardObs()
+		pcfg := c.obsPath(techs[k/len(loads)], true)
+		r := netsim.RunUDP(pcfg, pcfg.RANRateBps*loads[k%len(loads)].frac, udpDur(cfg), false)
+		return point{loss: r.LossRate, reg: reg}
+	})
+	for ti, tech := range techs {
 		row := tech.String() + ": "
-		for _, f := range []struct {
-			name string
-			frac float64
-		}{{"1/5", 0.2}, {"1/4", 0.25}, {"1/3", 1.0 / 3}, {"1/2", 0.5}, {"1", 1}} {
-			r := netsim.RunUDP(pcfg, pcfg.RANRateBps*f.frac, udpDur(cfg), false)
+		for li, f := range loads {
+			p := points[ti*len(loads)+li]
+			cfg.Obs.Merge(p.reg)
 			ref := ""
 			if tech == radio.NR {
 				ref = line("(≈%.1f)", paper5[f.name])
 			}
-			row += line("%s→%.2f%%%s ", f.name, 100*r.LossRate, ref)
-			res.Values[tech.String()+"@"+f.name] = r.LossRate
+			row += line("%s→%.2f%%%s ", f.name, 100*p.loss, ref)
+			res.Values[tech.String()+"@"+f.name] = p.loss
 		}
 		res.Lines = append(res.Lines, row)
 	}
@@ -225,9 +246,20 @@ func runFig12(cfg Config) Result {
 		if kind == handoff.FourToFour {
 			tech = radio.LTE
 		}
-		var drops []float64
-		for i := 0; i < reps; i++ {
-			drops = append(drops, hoThroughputDrop(cfg, tech, kind, cfg.Seed+int64(i)))
+		// Each rep is an independent flow seeded by its rep index; fan
+		// the reps out and merge their telemetry shards in rep order.
+		type rep struct {
+			drop float64
+			reg  *obs.Registry
+		}
+		outs := par.Map(cfg.Workers, reps, func(i int) rep {
+			c, reg := cfg.shardObs()
+			return rep{drop: hoThroughputDrop(c, tech, kind, cfg.Seed+int64(i)), reg: reg}
+		})
+		drops := make([]float64, len(outs))
+		for i, o := range outs {
+			drops[i] = o.drop
+			cfg.Obs.Merge(o.reg)
 		}
 		s := stats.Summarize(drops)
 		res.Lines = append(res.Lines, line("%-5s: throughput drop %5.1f%% ± %.1f (paper %.2f%%)", kind, 100*s.Mean, 100*s.Std, paper[kind]))

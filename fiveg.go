@@ -24,6 +24,7 @@ import (
 
 	"fivegsim/internal/netsim"
 	"fivegsim/internal/obs"
+	"fivegsim/internal/par"
 	"fivegsim/internal/radio"
 )
 
@@ -35,6 +36,14 @@ type Config struct {
 	// samples) while preserving every qualitative result. Benchmarks and
 	// CI use Quick; the full campaign uses !Quick.
 	Quick bool
+	// Workers bounds the campaign engine's concurrency: RunAll dispatches
+	// experiments — and the parallelized inner loops (survey shards,
+	// campaign walks, probe sweeps, hand-off reps) shard their work —
+	// across this many goroutines. 0 means GOMAXPROCS, 1 (the zero-config
+	// default) is the serial path. Results are bit-identical for every
+	// value: work is sharded deterministically and merged in index order
+	// (see internal/par and DESIGN.md's determinism contract).
+	Workers int
 
 	// Obs, when non-nil, collects simulator telemetry for the run:
 	// `des.*` scheduler counters, `netsim.*` per-hop packet/byte
@@ -60,6 +69,19 @@ func (cfg Config) obsPath(tech radio.Tech, daytime bool) netsim.PathConfig {
 	p.Trace = cfg.Trace
 	p.Profile = cfg.Profile
 	return p
+}
+
+// shardObs returns a copy of cfg whose Obs — when telemetry is on — is
+// a fresh per-shard registry, plus that registry so the caller can fold
+// it back into cfg.Obs (Registry.Merge) in shard order once the shard
+// finishes. With telemetry off both returns are the no-op nils.
+func (cfg Config) shardObs() (Config, *obs.Registry) {
+	if cfg.Obs == nil {
+		return cfg, nil
+	}
+	c := cfg
+	c.Obs = obs.NewRegistry()
+	return c, c.Obs
 }
 
 // DefaultConfig returns the full-fidelity configuration with the
@@ -150,14 +172,59 @@ func Run(id string, cfg Config) (Result, error) {
 	return Result{}, fmt.Errorf("fivegsim: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment and returns the results in paper order.
+// RunAll executes every experiment and returns the results in paper
+// order. With cfg.Workers ≠ 1 the experiments are dispatched across a
+// worker pool; the returned slice, each Result's Lines and Values, and
+// the merged cfg.Obs instrument totals are identical for every worker
+// count.
 func RunAll(cfg Config) []Result {
+	res, _ := RunExperiments(cfg) // no ids ⇒ cannot fail
+	return res
+}
+
+// RunExperiments executes the named experiments — all of them when ids
+// is empty — across up to cfg.Workers goroutines and returns the results
+// in paper order regardless of scheduling. When cfg.Obs is set, each
+// experiment runs against its own sub-registry (so its Manifest snapshot
+// covers that run alone) and the sub-registries are merged into cfg.Obs
+// in paper order. An unknown id is an error.
+func RunExperiments(cfg Config, ids ...string) ([]Result, error) {
 	exps := Experiments()
-	out := make([]Result, 0, len(exps))
-	for _, e := range exps {
-		out = append(out, e.Run(cfg))
+	if len(ids) > 0 {
+		byID := make(map[string]Experiment, len(exps))
+		for _, e := range exps {
+			byID[e.ID] = e
+		}
+		picked := make([]Experiment, 0, len(ids))
+		for _, id := range ids {
+			e, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("fivegsim: unknown experiment %q", id)
+			}
+			picked = append(picked, e)
+		}
+		sort.SliceStable(picked, func(i, j int) bool { return orderKey(picked[i].ID) < orderKey(picked[j].ID) })
+		exps = picked
 	}
-	return out
+	type runOut struct {
+		res Result
+		reg *obs.Registry
+	}
+	outs := par.Map(cfg.Workers, len(exps), func(i int) runOut {
+		c := cfg
+		if cfg.Obs != nil {
+			c.Obs = obs.NewRegistry()
+		}
+		return runOut{res: exps[i].Run(c), reg: c.Obs}
+	})
+	results := make([]Result, len(outs))
+	for i, o := range outs {
+		results[i] = o.res
+		if o.reg != cfg.Obs {
+			cfg.Obs.Merge(o.reg)
+		}
+	}
+	return results, nil
 }
 
 // line is a small fmt.Sprintf helper used by the experiment files.

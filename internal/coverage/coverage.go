@@ -6,10 +6,12 @@ package coverage
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 
 	"fivegsim/internal/deploy"
 	"fivegsim/internal/geom"
+	"fivegsim/internal/par"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/rng"
 	"fivegsim/internal/stats"
@@ -33,49 +35,70 @@ type Survey struct {
 // excellent signal.
 var RSRPEdges = []float64{-140, -105, -90, -80, -70, -60, -40}
 
+// surveyShardSize is the number of survey samples per RNG shard. The
+// shard layout depends only on the sample count, so RunParallel returns
+// identical surveys for every worker count (see internal/par).
+const surveyShardSize = 256
+
 // Run walks the campus road graph and collects n samples spread over the
 // roads proportionally to segment length, with a small perpendicular
 // jitter (pedestrians do not walk a perfect line). The paper samples 4630
-// locations.
+// locations. Equivalent to RunParallel with one worker.
 func Run(c *deploy.Campus, n int, seed int64) *Survey {
-	r := rng.New(seed).Stream("coverage.survey")
+	return RunParallel(c, n, seed, 1)
+}
+
+// RunParallel collects the same survey with the sample range sharded
+// across up to workers goroutines (0 = GOMAXPROCS). Each shard draws
+// from its own substream keyed by the shard index and writes its own
+// sample slots, so the survey is bit-identical for every worker count.
+func RunParallel(c *deploy.Campus, n int, seed int64, workers int) *Survey {
+	src := rng.New(seed)
+	s := &Survey{Campus: c, Samples: make([]Sample, n)}
+	par.Do(workers, par.ShardSize(n, surveyShardSize), func(sh par.Range) {
+		r := src.Shard("coverage.survey", sh.Index)
+		for i := sh.Lo; i < sh.Hi; i++ {
+			s.Samples[i] = drawSample(c, r)
+		}
+	})
+	return s
+}
+
+// drawSample picks one outdoor survey location on r and measures both
+// technologies there, the way the XCAL-equipped walk records a row.
+func drawSample(c *deploy.Campus, r *rand.Rand) Sample {
 	total := c.RoadLengthM()
-	s := &Survey{Campus: c}
-	s.Samples = make([]Sample, 0, n)
-	for i := 0; i < n; i++ {
-		// Pick an outdoor road position uniformly over total length; the
-		// walking surveyor goes around buildings, so indoor draws are
-		// rejected and retried.
-		var p geom.Point
-		for attempt := 0; attempt < 32; attempt++ {
-			at := rng.Uniform(r, 0, total)
-			for _, road := range c.Roads {
-				l := road.Length()
-				if at <= l {
-					p = road.At(at / l)
-					break
-				}
-				at -= l
-			}
-			// Perpendicular jitter up to ±3 m, clamped to campus bounds.
-			p.X += rng.Uniform(r, -3, 3)
-			p.Y += rng.Uniform(r, -3, 3)
-			p.X = math.Min(math.Max(p.X, 0), c.Bounds.Max.X)
-			p.Y = math.Min(math.Max(p.Y, 0), c.Bounds.Max.Y)
-			if !c.Indoor(p) {
+	// Pick an outdoor road position uniformly over total length; the
+	// walking surveyor goes around buildings, so indoor draws are
+	// rejected and retried.
+	var p geom.Point
+	for attempt := 0; attempt < 32; attempt++ {
+		at := rng.Uniform(r, 0, total)
+		for _, road := range c.Roads {
+			l := road.Length()
+			if at <= l {
+				p = road.At(at / l)
 				break
 			}
+			at -= l
 		}
-		sample := Sample{Pos: p}
-		if m, ok := c.BestServer(radio.NR, p); ok {
-			sample.NR = m
+		// Perpendicular jitter up to ±3 m, clamped to campus bounds.
+		p.X += rng.Uniform(r, -3, 3)
+		p.Y += rng.Uniform(r, -3, 3)
+		p.X = math.Min(math.Max(p.X, 0), c.Bounds.Max.X)
+		p.Y = math.Min(math.Max(p.Y, 0), c.Bounds.Max.Y)
+		if !c.Indoor(p) {
+			break
 		}
-		if m, ok := c.BestServer(radio.LTE, p); ok {
-			sample.LTE = m
-		}
-		s.Samples = append(s.Samples, sample)
 	}
-	return s
+	sample := Sample{Pos: p}
+	if m, ok := c.BestServer(radio.NR, p); ok {
+		sample.NR = m
+	}
+	if m, ok := c.BestServer(radio.LTE, p); ok {
+		sample.LTE = m
+	}
+	return sample
 }
 
 // rsrps extracts the per-sample best-server RSRP for a technology. If

@@ -6,6 +6,7 @@ import (
 
 	"fivegsim/internal/deploy"
 	"fivegsim/internal/geom"
+	"fivegsim/internal/par"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/rng"
 )
@@ -253,6 +254,25 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 		}
 	}
 	return out
+}
+
+// RunCampaigns runs n independent walks — walk i is RunCampaign with
+// seed+1+i, the same seed ladder the paper-facade campaign always used —
+// across up to workers goroutines, and merges them in walk order. Each
+// walk derives every substream from its own seed, so the merged campaign
+// is identical for every worker count.
+func RunCampaigns(campus *deploy.Campus, cfg Config, seed int64, n, workers int) *Campaign {
+	camps := par.Map(workers, n, func(i int) *Campaign {
+		return RunCampaign(campus, cfg, seed+1+int64(i))
+	})
+	all := &Campaign{Duration: time.Duration(n) * cfg.Duration, MeasEvents: map[EventType]int{}}
+	for _, c := range camps {
+		all.Events = append(all.Events, c.Events...)
+		for k, v := range c.MeasEvents {
+			all.MeasEvents[k] += v
+		}
+	}
+	return all
 }
 
 // markEvent counts a measurement-report event with hysteresis: the event

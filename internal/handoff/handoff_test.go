@@ -146,9 +146,14 @@ var (
 )
 
 // campaignForTest runs the (expensive) 4×40-minute walking campaign once
-// and shares it across the statistical tests.
+// and shares it across the statistical tests. The campaign is skipped in
+// short mode so the CI race pass (`go test -race -short`) stays cheap;
+// the parallel-equivalence tests cover the campaign path there instead.
 func campaignForTest(t *testing.T) *Campaign {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("40-minute campaign statistics are not short-mode work")
+	}
 	campaignOnce.Do(func() {
 		campus := deploy.New(42)
 		cfg := DefaultConfig()

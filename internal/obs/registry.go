@@ -295,6 +295,116 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Merge folds src's instruments into r: counters sum, gauges take src's
+// current value (last write wins) while high-water marks take the max,
+// and histogram buckets add. Instruments missing from r are created.
+// Merging from or into a nil registry — or a registry into itself — is
+// a safe no-op.
+//
+// The parallel campaign engine gives each shard its own registry and
+// merges them in shard order, so merged counter totals and histogram
+// bucket counts are identical for every worker count. (Histogram float
+// sums are accumulated in merge order and may differ from a serial run
+// in the last ulp.) Merge snapshots src first, so it is safe against
+// concurrent writers on either side, but the combined result is only
+// meaningful once src's shard has finished writing.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil || r == src {
+		return
+	}
+	type histCopy struct {
+		bounds []float64
+		counts []int64
+		sum    float64
+		min    float64
+		max    float64
+	}
+	src.mu.Lock()
+	counters := make(map[string]int64, len(src.counters))
+	for name, c := range src.counters {
+		counters[name] = c.Value()
+	}
+	type gaugeCopy struct{ v, max int64 }
+	gauges := make(map[string]gaugeCopy, len(src.gauges))
+	for name, g := range src.gauges {
+		gauges[name] = gaugeCopy{v: g.Value(), max: g.Max()}
+	}
+	hists := make(map[string]histCopy, len(src.hists))
+	for name, h := range src.hists {
+		hc := histCopy{
+			bounds: append([]float64(nil), h.bounds...),
+			counts: make([]int64, len(h.counts)),
+			sum:    h.Sum(),
+			min:    math.Float64frombits(atomic.LoadUint64(&h.min)),
+			max:    math.Float64frombits(atomic.LoadUint64(&h.max)),
+		}
+		for i := range h.counts {
+			hc.counts[i] = atomic.LoadInt64(&h.counts[i])
+		}
+		hists[name] = hc
+	}
+	src.mu.Unlock()
+
+	for name, v := range counters {
+		r.Counter(name).Add(v)
+	}
+	for name, g := range gauges {
+		dst := r.Gauge(name)
+		atomic.StoreInt64(&dst.v, g.v)
+		for {
+			m := atomic.LoadInt64(&dst.max)
+			if g.max <= m || atomic.CompareAndSwapInt64(&dst.max, m, g.max) {
+				break
+			}
+		}
+	}
+	for name, hc := range hists {
+		dst := r.Histogram(name, hc.bounds)
+		var count int64
+		if equalBounds(dst.bounds, hc.bounds) {
+			for i, c := range hc.counts {
+				atomic.AddInt64(&dst.counts[i], c)
+				count += c
+			}
+		} else {
+			// Bounds disagree (the name was first registered with a
+			// different ladder): re-bucket each source bucket at its
+			// upper bound; the overflow bucket lands at the observed max.
+			for i, c := range hc.counts {
+				if c == 0 {
+					continue
+				}
+				v := hc.max
+				if i < len(hc.bounds) {
+					v = hc.bounds[i]
+				}
+				j := sort.SearchFloat64s(dst.bounds, v)
+				atomic.AddInt64(&dst.counts[j], c)
+				count += c
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		atomic.AddInt64(&dst.count, count)
+		addFloat(&dst.sum, hc.sum)
+		casFloat(&dst.min, hc.min, func(cur float64) bool { return hc.min < cur })
+		casFloat(&dst.max, hc.max, func(cur float64) bool { return hc.max > cur })
+	}
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Metric is one snapshotted instrument.
 type Metric struct {
 	Name  string  `json:"name"`

@@ -1,0 +1,157 @@
+// Package par is the simulator's deterministic fan-out substrate. It
+// shards an index range into contiguous pieces whose layout depends only
+// on the problem size — never on the worker count — so that a caller who
+// keys one rng.Source substream per shard produces bit-identical results
+// whether the shards execute on one goroutine or on many.
+//
+// The contract every parallelized campaign loop in fivegsim follows:
+//
+//  1. Split the work with Shard/ShardSize (layout fixed by n alone).
+//  2. Give each shard its own random substream keyed by a stable name
+//     and the shard index (rng.Source.Shard).
+//  3. Write each shard's output into its own pre-assigned slot and
+//     merge in shard-index order (Map/ShardMap do this for you).
+//
+// Workers then only decides how many goroutines execute the shards;
+// scheduling order can vary freely without changing any output.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Range is one contiguous shard of the index range [0, N).
+type Range struct {
+	// Index is the shard number, 0-based and dense; substream keys and
+	// merge order derive from it.
+	Index int
+	// Lo and Hi bound the half-open item range [Lo, Hi).
+	Lo, Hi int
+}
+
+// Len returns the number of items in the shard.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Workers normalizes a worker-count knob: 0 means GOMAXPROCS (use the
+// machine), anything below 1 clamps to 1 (the serial path).
+func Workers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// Shard splits [0, n) into min(n, shards) contiguous, near-equal ranges
+// (sizes differ by at most one; earlier shards take the remainder).
+// Empty shards are never returned, so n = 0 yields nil. The split is a
+// pure function of n and shards — callers must not derive shards from
+// the worker count, or they forfeit the determinism contract.
+func Shard(n, shards int) []Range {
+	if n <= 0 || shards < 1 {
+		return nil
+	}
+	if shards > n {
+		shards = n
+	}
+	out := make([]Range, shards)
+	size, rem := n/shards, n%shards
+	lo := 0
+	for i := range out {
+		hi := lo + size
+		if i < rem {
+			hi++
+		}
+		out[i] = Range{Index: i, Lo: lo, Hi: hi}
+		lo = hi
+	}
+	return out
+}
+
+// ShardSize splits [0, n) into ⌈n/size⌉ contiguous shards of the given
+// size (the last may be short). Fixed-size shards keep the substream
+// assigned to an item stable as worker counts change, and nearly stable
+// as n grows.
+func ShardSize(n, size int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if size < 1 {
+		size = 1
+	}
+	out := make([]Range, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Index: len(out), Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// Do executes fn once per shard, at most workers concurrently, and
+// returns when every shard has finished. workers follows the Workers
+// convention (0 = GOMAXPROCS). With one worker — or one shard — fn runs
+// inline on the calling goroutine in shard order, which is exactly the
+// pre-parallel serial path: no goroutines, no synchronization.
+//
+// Shards are claimed dynamically, so execution order across goroutines
+// is unspecified; fn must confine its writes to shard-owned state.
+func Do(workers int, shards []Range, fn func(Range)) {
+	workers = Workers(workers)
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, s := range shards {
+			fn(s)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				fn(shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn for every index in [0, n) across up to workers goroutines
+// and returns the results in index order, independent of the worker
+// count. Each call owns its slot, so fn may be expensive and internally
+// stateful as long as distinct indices do not share mutable state.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	Do(workers, ShardSize(n, 1), func(r Range) {
+		out[r.Lo] = fn(r.Lo)
+	})
+	return out
+}
+
+// ShardMap runs fn once per shard and returns the per-shard results in
+// shard-index order, independent of the worker count.
+func ShardMap[T any](workers int, shards []Range, fn func(Range) T) []T {
+	out := make([]T, len(shards))
+	Do(workers, shards, func(r Range) {
+		out[r.Index] = fn(r)
+	})
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 )
 
 // Source derives independent sub-streams from a root seed. Each named
@@ -32,6 +33,14 @@ func (s *Source) Stream(name string) *rand.Rand {
 	h.Write(buf[:])
 	h.Write([]byte(name))
 	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Shard returns the deterministic sub-stream for one shard of a named
+// parallel loop: independent of Stream(name), of every other shard
+// index, and of how many workers execute the shards. The internal/par
+// contract keys exactly one Shard stream per par.Range.Index.
+func (s *Source) Shard(name string, index int) *rand.Rand {
+	return s.Stream(name + "#" + strconv.Itoa(index))
 }
 
 // Normal draws from N(mean, std) on r, a convenience wrapper.

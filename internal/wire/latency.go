@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"fivegsim/internal/par"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/rng"
 	"fivegsim/internal/stats"
@@ -80,21 +81,22 @@ type Fig13Pair struct {
 }
 
 // RTTScatter reproduces Fig. 13: for each of the 20 servers measured from
-// 4 gNB/eNB sites (80 paths), the mean 4G vs 5G RTT over 30 probes.
-func RTTScatter(seed int64) []Fig13Pair {
-	var out []Fig13Pair
-	for site := 0; site < 4; site++ {
-		for _, s := range Servers {
-			p4 := MeasureServer(radio.LTE, s, 30, seed+int64(site*1000+s.ID))
-			p5 := MeasureServer(radio.NR, s, 30, seed+int64(site*1000+s.ID)+7)
-			out = append(out, Fig13Pair{
-				Server: s,
-				RTT4G:  meanRTT(p4),
-				RTT5G:  meanRTT(p5),
-			})
+// 4 gNB/eNB sites (80 paths), the mean 4G vs 5G RTT over 30 probes. The
+// paths are probed across up to workers goroutines (0 = GOMAXPROCS);
+// every path's probe stream is keyed by (site, server), so the scatter
+// is identical for any worker count.
+func RTTScatter(seed int64, workers int) []Fig13Pair {
+	const sites = 4
+	return par.Map(workers, sites*len(Servers), func(k int) Fig13Pair {
+		site, s := k/len(Servers), Servers[k%len(Servers)]
+		p4 := MeasureServer(radio.LTE, s, 30, seed+int64(site*1000+s.ID))
+		p5 := MeasureServer(radio.NR, s, 30, seed+int64(site*1000+s.ID)+7)
+		return Fig13Pair{
+			Server: s,
+			RTT4G:  meanRTT(p4),
+			RTT5G:  meanRTT(p5),
 		}
-	}
-	return out
+	})
 }
 
 func meanRTT(ps []Probe) time.Duration {
@@ -165,17 +167,23 @@ type DistanceBin struct {
 	RTT5G      stats.Summary
 }
 
-// RTTvsDistance reproduces Fig. 15: RTT grouped by path distance.
-func RTTvsDistance(seed int64) []DistanceBin {
+// RTTvsDistance reproduces Fig. 15: RTT grouped by path distance. The
+// per-server probe sweeps run across up to workers goroutines; probe
+// streams are keyed per server, and binning walks the servers in catalog
+// order, so the bins are identical for any worker count.
+func RTTvsDistance(seed int64, workers int) []DistanceBin {
 	edges := []float64{0, 200, 600, 1200, 1800, 2500, 3500}
 	bins := make([]DistanceBin, len(edges)-1)
 	for i := range bins {
 		bins[i] = DistanceBin{LoKm: edges[i], HiKm: edges[i+1]}
 	}
 	collect := func(t radio.Tech) map[int][]float64 {
+		probes := par.Map(workers, len(Servers), func(k int) []Probe {
+			return MeasureServer(t, Servers[k], 30, seed+int64(Servers[k].ID))
+		})
 		m := map[int][]float64{}
-		for _, s := range Servers {
-			for _, p := range MeasureServer(t, s, 30, seed+int64(s.ID)) {
+		for k, s := range Servers {
+			for _, p := range probes[k] {
 				for i := range bins {
 					if s.DistanceKm >= bins[i].LoKm && s.DistanceKm < bins[i].HiKm {
 						m[i] = append(m[i], float64(p.RTT)/float64(time.Millisecond))

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The probe sweeps behind Figs. 13–14 keep per-path seeds fixed by
+// (site, server), so fanning the sweep out cannot change a single RTT.
+func TestRTTScatterWorkerEquivalence(t *testing.T) {
+	seeds := []int64{1, 42, 7}
+	if testing.Short() {
+		seeds = seeds[:1] // one seed still races the fan-out under CI
+	}
+	for _, seed := range seeds {
+		serial := RTTScatter(seed, 1)
+		for _, workers := range []int{2, 4, 16} {
+			if par := RTTScatter(seed, workers); !reflect.DeepEqual(serial, par) {
+				t.Fatalf("seed %d: RTTScatter differs at workers=%d", seed, workers)
+			}
+		}
+	}
+}
+
+func TestRTTvsDistanceWorkerEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 42, 7} {
+		serial := RTTvsDistance(seed, 1)
+		for _, workers := range []int{2, 8} {
+			if par := RTTvsDistance(seed, workers); !reflect.DeepEqual(serial, par) {
+				t.Fatalf("seed %d: RTTvsDistance differs at workers=%d", seed, workers)
+			}
+		}
+	}
+}
+
+func TestRTTScatterSeedSensitivity(t *testing.T) {
+	if reflect.DeepEqual(RTTScatter(1, 2), RTTScatter(2, 2)) {
+		t.Fatal("different seeds produced identical scatter data")
+	}
+}

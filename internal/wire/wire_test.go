@@ -29,7 +29,7 @@ func TestTable6Catalog(t *testing.T) {
 }
 
 func TestFig13Scatter(t *testing.T) {
-	pairs := RTTScatter(42)
+	pairs := RTTScatter(42, 1)
 	if len(pairs) != 80 {
 		t.Fatalf("paper measures 80 paths, got %d", len(pairs))
 	}
@@ -83,7 +83,7 @@ func TestFig14HopBreakdown(t *testing.T) {
 }
 
 func TestFig15RTTvsDistance(t *testing.T) {
-	bins := RTTvsDistance(42)
+	bins := RTTvsDistance(42, 1)
 	// 5× RTT growth from ≈100 km to ≈2500 km.
 	var rtt100, rtt2500 float64
 	for _, b := range bins {
@@ -186,7 +186,7 @@ func TestFig13ScatterCorrelation(t *testing.T) {
 	// The paper's scatter hugs a line offset by the constant core gap: the
 	// per-path 4G and 5G RTTs must be strongly correlated (distance is the
 	// shared driver).
-	pairs := RTTScatter(42)
+	pairs := RTTScatter(42, 1)
 	var xs, ys []float64
 	for _, p := range pairs {
 		xs = append(xs, float64(p.RTT4G))

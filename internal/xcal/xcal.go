@@ -7,6 +7,7 @@ package xcal
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"fivegsim/internal/geom"
@@ -36,7 +37,11 @@ type SignalingRecord struct {
 }
 
 // Logger accumulates KPI and signaling rows like an XCAL capture session.
+// The Log methods and row accessors are safe for concurrent use, so
+// parallel campaign shards may feed one capture session; read the KPIs
+// and Signaling fields directly only after logging has quiesced.
 type Logger struct {
+	mu        sync.Mutex
 	KPIs      []KPIRecord
 	Signaling []SignalingRecord
 }
@@ -46,6 +51,8 @@ func New() *Logger { return &Logger{} }
 
 // LogKPI appends a KPI sample built from a radio measurement.
 func (l *Logger) LogKPI(at time.Duration, pos geom.Point, m radio.Measurement, prbs int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.KPIs = append(l.KPIs, KPIRecord{
 		At: at, Pos: pos, Tech: m.Tech, PCI: m.PCI,
 		RSRPdBm: m.RSRPdBm, RSRQdB: m.RSRQdB, SINRdB: m.SINRdB,
@@ -55,19 +62,30 @@ func (l *Logger) LogKPI(at time.Duration, pos geom.Point, m radio.Measurement, p
 
 // LogSignaling appends a control-plane message.
 func (l *Logger) LogSignaling(at time.Duration, message, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.Signaling = append(l.Signaling, SignalingRecord{At: at, Message: message, Detail: detail})
 }
 
 // LogHandoff appends the full signaling ladder of a hand-off event, the
-// way XCAL-Mobile exposes the Fig. 24 exchange.
+// way XCAL-Mobile exposes the Fig. 24 exchange. The ladder is appended
+// atomically, so concurrent loggers cannot interleave their messages
+// inside one hand-off's exchange.
 func (l *Logger) LogHandoff(e handoff.Event) {
 	at := e.At
-	l.LogSignaling(at, "Measurement Report", fmt.Sprintf("serving PCI %d, neighbor PCI %d", e.FromPCI, e.ToPCI))
+	recs := make([]SignalingRecord, 0, len(e.Trace)+2)
+	recs = append(recs, SignalingRecord{At: at, Message: "Measurement Report",
+		Detail: fmt.Sprintf("serving PCI %d, neighbor PCI %d", e.FromPCI, e.ToPCI)})
 	for _, step := range e.Trace {
-		l.LogSignaling(at, step.Name, fmt.Sprintf("%s hand-off, step latency %v", e.Kind, step.Latency))
+		recs = append(recs, SignalingRecord{At: at, Message: step.Name,
+			Detail: fmt.Sprintf("%s hand-off, step latency %v", e.Kind, step.Latency)})
 		at += step.Latency
 	}
-	l.LogSignaling(at, "Hand-off Complete", fmt.Sprintf("PCI %d → %d in %v", e.FromPCI, e.ToPCI, e.Latency))
+	recs = append(recs, SignalingRecord{At: at, Message: "Hand-off Complete",
+		Detail: fmt.Sprintf("PCI %d → %d in %v", e.FromPCI, e.ToPCI, e.Latency)})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.Signaling = append(l.Signaling, recs...)
 }
 
 // KPIHeader returns the CSV header of the KPI table.
@@ -77,8 +95,10 @@ func KPIHeader() []string {
 
 // KPIRows renders the KPI table as CSV-ready strings, time-ordered.
 func (l *Logger) KPIRows() [][]string {
-	rows := make([][]string, 0, len(l.KPIs))
+	l.mu.Lock()
 	sorted := append([]KPIRecord(nil), l.KPIs...)
+	l.mu.Unlock()
+	rows := make([][]string, 0, len(sorted))
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
 	for _, k := range sorted {
 		rows = append(rows, []string{
@@ -103,8 +123,11 @@ func SignalingHeader() []string { return []string{"t_ms", "message", "detail"} }
 
 // SignalingRows renders the signaling log.
 func (l *Logger) SignalingRows() [][]string {
-	rows := make([][]string, 0, len(l.Signaling))
-	for _, s := range l.Signaling {
+	l.mu.Lock()
+	msgs := append([]SignalingRecord(nil), l.Signaling...)
+	l.mu.Unlock()
+	rows := make([][]string, 0, len(msgs))
+	for _, s := range msgs {
 		rows = append(rows, []string{fmt.Sprintf("%d", s.At.Milliseconds()), s.Message, s.Detail})
 	}
 	return rows

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# CI gate for fivegsim: vet, build, the tier-1 test suite, and the same
-# suite under the race detector (the obs registry is the only shared
-# mutable state; atomics keep it race-clean).
+# CI gate for fivegsim: vet, build, the tier-1 test suite, and a race
+# pass over the parallel campaign engine. The race step runs -short:
+# the long statistical sweeps trim to one seed, but every Workers>1
+# path stays on — TestRunAllParallelRace dispatches experiments across
+# an 8-worker pool with a shared registry and tracer, and the
+# worker-equivalence tests race the survey shards, campaign walks and
+# probe sweeps. `make race-full` runs the unabridged suite under -race.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +18,7 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race -short (parallel engine under the race detector) =="
+go test -race -short ./...
 
 echo "ci: all green"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench ci
+.PHONY: build test race faults bench ci
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,12 @@ race:
 # The unabridged suite under the race detector (slow; not part of ci).
 race-full:
 	$(GO) test -race ./...
+
+# Fault-injection suite under the race detector: plan validation,
+# scenario presets, (Seed, Plan) determinism and the context-aware
+# engine paths.
+faults:
+	$(GO) test -race -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/fault/ ./internal/par/ .
 
 # Scheduler/telemetry overhead benches plus the per-figure benches.
 bench:

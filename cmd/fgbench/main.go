@@ -11,12 +11,18 @@
 //	fgbench -metrics        # print the telemetry snapshot per run
 //	fgbench -trace out.json # export a Chrome trace (Perfetto-loadable)
 //	fgbench -manifest m.json# write the run manifests as JSON (see fgobs)
+//	fgbench -faults list    # enumerate fault-scenario presets
+//	fgbench -faults cell-failover -run X9
+//	                        # arm a fault scenario on the selected runs
 //
 // Reports are bit-identical for every -workers value: the engine shards
 // work deterministically and merges in paper order (see DESIGN.md).
+// Results stream as they complete (in paper order); a crashed experiment
+// prints as FAILED and the campaign carries on.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"fivegsim"
+	"fivegsim/internal/fault"
 	"fivegsim/internal/obs"
 )
 
@@ -37,11 +44,19 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the campaign to this file")
 	manifestPath := flag.String("manifest", "", "write the run manifests (JSON array) to this file")
 	profile := flag.Bool("profile", false, "measure per-event callback wall time (adds overhead)")
+	faults := flag.String("faults", "", "arm a fault-scenario preset on every run ('list' to enumerate)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range fivegsim.Experiments() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *faults == "list" {
+		for _, s := range fault.Scenarios() {
+			p := s.Plan()
+			fmt.Printf("%-18s %d fault(s) over %.1fs\n", s, len(p.Faults), p.Duration().Seconds())
 		}
 		return
 	}
@@ -62,22 +77,33 @@ func main() {
 	}
 
 	cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Trace: tracer, Profile: *profile}
+	if *faults != "" {
+		s, err := fault.ScenarioByName(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fgbench: %v; try -faults list\n", err)
+			os.Exit(1)
+		}
+		cfg.Faults = s.Plan()
+		if len(ids) == 0 {
+			// A scenario with no explicit -run means the fault suite.
+			ids = []string{"X9", "X10", "X11"}
+		}
+	}
 	if collect {
-		// RunExperiments gives every experiment its own sub-registry, so
-		// each manifest's snapshot is attributable to that run alone;
-		// cfg.Obs accumulates the campaign-wide merge.
+		// RunExperimentsContext gives every experiment its own
+		// sub-registry, so each manifest's snapshot is attributable to
+		// that run alone; cfg.Obs accumulates the campaign-wide merge.
 		cfg.Obs = obs.NewRegistry()
 	}
-	start := time.Now()
-	results, err := fivegsim.RunExperiments(cfg, ids...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fgbench: %v; try -list\n", err)
-		os.Exit(1)
-	}
-	manifests := make([]obs.RunManifest, 0, len(results))
-	for _, res := range results {
+	// Results stream through OnResult in paper order as workers finish.
+	manifests := make([]obs.RunManifest, 0, 32)
+	failed := 0
+	cfg.OnResult = func(res fivegsim.Result) {
 		fmt.Print(res.Report())
 		fmt.Printf("  (%.1fs)\n\n", res.Manifest.WallTime.Seconds())
+		if res.Err != nil {
+			failed++
+		}
 		if *metrics {
 			fmt.Printf("-- metrics %s (events=%d, sim=%s, wall=%s) --\n",
 				res.ID, res.Manifest.EventsExecuted, res.Manifest.SimTime,
@@ -88,6 +114,12 @@ func main() {
 			fmt.Println()
 		}
 		manifests = append(manifests, res.Manifest)
+	}
+	start := time.Now()
+	results, err := fivegsim.RunExperimentsContext(context.Background(), cfg, ids...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fgbench: %v; try -list\n", err)
+		os.Exit(1)
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, tracer); err != nil {
@@ -106,6 +138,10 @@ func main() {
 	}
 	fmt.Printf("regenerated %d experiments in %.1fs (seed %d, quick=%v, workers=%d)\n",
 		len(results), time.Since(start).Seconds(), *seed, *quick, *workers)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "fgbench: %d experiment(s) FAILED\n", failed)
+		os.Exit(1)
+	}
 }
 
 func writeTrace(path string, tracer *obs.Tracer) error {

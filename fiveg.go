@@ -17,11 +17,16 @@
 package fivegsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"fivegsim/internal/fault"
 	"fivegsim/internal/netsim"
 	"fivegsim/internal/obs"
 	"fivegsim/internal/par"
@@ -59,6 +64,22 @@ type Config struct {
 	// scheduler (the `des.callback_wall_us` histogram). It costs two
 	// wall-clock reads per event; leave off for benchmarks.
 	Profile bool
+
+	// Faults, when non-nil, arms the deterministic fault-injection plan
+	// on every end-to-end path an experiment builds (and, for the
+	// campaign-walk experiments, carves the plan's failed cells out of
+	// the coverage map). Use a fault.Scenario preset or build a plan by
+	// hand; (Seed, Plan) determines every injected event, so reports
+	// stay bit-identical for any Workers value. Nil (the default) is
+	// the exact pre-fault fast path, like Obs.
+	Faults *fault.Plan
+
+	// OnResult, when non-nil, is invoked once per completed experiment,
+	// in paper order, as results become available — progressive output
+	// for long campaigns. Calls are serialized (never concurrent) but
+	// may run on engine worker goroutines; keep the callback cheap. The
+	// final result slice is returned as usual.
+	OnResult func(Result)
 }
 
 // obsPath returns the calibrated path config for a technology/time of
@@ -68,6 +89,9 @@ func (cfg Config) obsPath(tech radio.Tech, daytime bool) netsim.PathConfig {
 	p.Obs = cfg.Obs
 	p.Trace = cfg.Trace
 	p.Profile = cfg.Profile
+	if cfg.Faults != nil {
+		p.Inject = fault.Hook(cfg.Faults)
+	}
 	return p
 }
 
@@ -104,17 +128,64 @@ type Result struct {
 	// wall/sim time, events executed and — when Config.Obs was set — the
 	// full metric snapshot.
 	Manifest obs.RunManifest
+	// Err is non-nil when the experiment crashed instead of completing
+	// (an *ExperimentPanicError); the campaign carries on and reports
+	// the crash here rather than dying. Lines and Values are empty for
+	// an errored result.
+	Err error
 }
 
 // Report renders the result as text.
 func (r Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Err != nil {
+		fmt.Fprintf(&b, "  FAILED: %v\n", r.Err)
+	}
 	for _, l := range r.Lines {
 		b.WriteString("  " + l + "\n")
 	}
 	return b.String()
 }
+
+// Typed errors of the public API, matchable with errors.Is/As.
+var (
+	// ErrUnknownExperiment is wrapped by every unknown-id failure of
+	// Run/RunExperiments; errors.As against *UnknownExperimentError
+	// recovers the offending id.
+	ErrUnknownExperiment = errors.New("fivegsim: unknown experiment")
+	// ErrExperimentPanic is wrapped by Result.Err when a registered Run
+	// panicked; errors.As against *ExperimentPanicError recovers the
+	// panic value and stack.
+	ErrExperimentPanic = errors.New("fivegsim: experiment panicked")
+)
+
+// UnknownExperimentError reports a request for an id the registry does
+// not hold.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return fmt.Sprintf("fivegsim: unknown experiment %q", e.ID)
+}
+
+// Is matches ErrUnknownExperiment.
+func (e *UnknownExperimentError) Is(target error) bool { return target == ErrUnknownExperiment }
+
+// ExperimentPanicError is the recovered crash of one experiment,
+// converted into an error result so one bad run cannot kill a whole
+// campaign.
+type ExperimentPanicError struct {
+	ID    string
+	Value interface{} // the recovered panic value
+	Stack []byte      // the crashing goroutine's stack
+}
+
+func (e *ExperimentPanicError) Error() string {
+	return fmt.Sprintf("fivegsim: experiment %s panicked: %v", e.ID, e.Value)
+}
+
+// Is matches ErrExperimentPanic.
+func (e *ExperimentPanicError) Is(target error) bool { return target == ErrExperimentPanic }
 
 // Experiment is one reproducible table or figure.
 type Experiment struct {
@@ -127,12 +198,19 @@ var registry []Experiment
 
 func register(id, title string, run func(cfg Config) Result) {
 	// Every registered run is wrapped so its Result carries a
-	// RunManifest, regardless of which entry point invoked it.
-	wrapped := func(cfg Config) Result {
+	// RunManifest regardless of which entry point invoked it, and so a
+	// panicking experiment yields an error result (Result.Err) instead
+	// of tearing down the campaign.
+	wrapped := func(cfg Config) (res Result) {
 		started := time.Now()
-		res := run(cfg)
-		res.Manifest = obs.NewManifest(id, title, cfg.Seed, cfg.Quick, started, time.Since(started), cfg.Obs)
-		return res
+		defer func() {
+			if r := recover(); r != nil {
+				res = Result{ID: id, Title: title,
+					Err: &ExperimentPanicError{ID: id, Value: r, Stack: debug.Stack()}}
+			}
+			res.Manifest = obs.NewManifest(id, title, cfg.Seed, cfg.Quick, started, time.Since(started), cfg.Obs)
+		}()
+		return run(cfg)
 	}
 	registry = append(registry, Experiment{ID: id, Title: title, Run: wrapped})
 }
@@ -164,12 +242,23 @@ func orderKey(id string) int {
 
 // Run executes the experiment with the given ID.
 func Run(id string, cfg Config) (Result, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext is Run with cancellation: a context canceled before the
+// experiment starts returns ctx.Err() (wrapped, so errors.Is matches);
+// an experiment already running is not interrupted. An unknown id is an
+// *UnknownExperimentError.
+func RunContext(ctx context.Context, id string, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("fivegsim: run canceled: %w", err)
+	}
 	for _, e := range registry {
 		if e.ID == id {
 			return e.Run(cfg), nil
 		}
 	}
-	return Result{}, fmt.Errorf("fivegsim: unknown experiment %q", id)
+	return Result{}, &UnknownExperimentError{ID: id}
 }
 
 // RunAll executes every experiment and returns the results in paper
@@ -178,17 +267,34 @@ func Run(id string, cfg Config) (Result, error) {
 // the merged cfg.Obs instrument totals are identical for every worker
 // count.
 func RunAll(cfg Config) []Result {
-	res, _ := RunExperiments(cfg) // no ids ⇒ cannot fail
+	res, _ := RunExperiments(cfg) // no ids, background context ⇒ cannot fail
 	return res
 }
 
 // RunExperiments executes the named experiments — all of them when ids
 // is empty — across up to cfg.Workers goroutines and returns the results
-// in paper order regardless of scheduling. When cfg.Obs is set, each
-// experiment runs against its own sub-registry (so its Manifest snapshot
-// covers that run alone) and the sub-registries are merged into cfg.Obs
-// in paper order. An unknown id is an error.
+// in paper order regardless of scheduling. It is RunExperimentsContext
+// with a background context.
 func RunExperiments(cfg Config, ids ...string) ([]Result, error) {
+	return RunExperimentsContext(context.Background(), cfg, ids...)
+}
+
+// RunExperimentsContext executes the named experiments — all of them
+// when ids is empty — across up to cfg.Workers goroutines and returns
+// the results in paper order regardless of scheduling.
+//
+// When cfg.Obs is set, each experiment runs against its own
+// sub-registry (so its Manifest snapshot covers that run alone) and the
+// sub-registries are merged into cfg.Obs in paper order. When
+// cfg.OnResult is set it is invoked once per result, in paper order, as
+// experiments complete. An unknown id is an *UnknownExperimentError.
+//
+// Cancellation is checked between experiments (the internal/par shard
+// boundary): after ctx is canceled no new experiment starts, in-flight
+// experiments finish, and the call returns a wrapped ctx.Err() — match
+// it with errors.Is(err, context.Canceled) — discarding the partial
+// results (results already streamed through OnResult stand).
+func RunExperimentsContext(ctx context.Context, cfg Config, ids ...string) ([]Result, error) {
 	exps := Experiments()
 	if len(ids) > 0 {
 		byID := make(map[string]Experiment, len(exps))
@@ -199,7 +305,7 @@ func RunExperiments(cfg Config, ids ...string) ([]Result, error) {
 		for _, id := range ids {
 			e, ok := byID[id]
 			if !ok {
-				return nil, fmt.Errorf("fivegsim: unknown experiment %q", id)
+				return nil, &UnknownExperimentError{ID: id}
 			}
 			picked = append(picked, e)
 		}
@@ -210,13 +316,33 @@ func RunExperiments(cfg Config, ids ...string) ([]Result, error) {
 		res Result
 		reg *obs.Registry
 	}
-	outs := par.Map(cfg.Workers, len(exps), func(i int) runOut {
+	outs := make([]runOut, len(exps))
+	// Streaming state: emit completed results from the paper-order
+	// frontier so OnResult sees them in order no matter which worker
+	// finishes first.
+	var emitMu sync.Mutex
+	emitted := make([]bool, len(exps))
+	emitNext := 0
+	err := par.DoCtx(ctx, cfg.Workers, par.ShardSize(len(exps), 1), func(r par.Range) {
+		i := r.Lo
 		c := cfg
 		if cfg.Obs != nil {
 			c.Obs = obs.NewRegistry()
 		}
-		return runOut{res: exps[i].Run(c), reg: c.Obs}
+		outs[i] = runOut{res: exps[i].Run(c), reg: c.Obs}
+		if cfg.OnResult != nil {
+			emitMu.Lock()
+			emitted[i] = true
+			for emitNext < len(exps) && emitted[emitNext] {
+				cfg.OnResult(outs[emitNext].res)
+				emitNext++
+			}
+			emitMu.Unlock()
+		}
 	})
+	if err != nil {
+		return nil, fmt.Errorf("fivegsim: campaign canceled: %w", err)
+	}
 	results := make([]Result, len(outs))
 	for i, o := range outs {
 		results[i] = o.res

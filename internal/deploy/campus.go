@@ -264,7 +264,28 @@ func (c *Campus) RSRPAt(cell *radio.Cell, p geom.Point) float64 {
 // MeasureAll returns the KPI samples for every cell of a technology at p,
 // strongest first, with inter-cell interference applied.
 func (c *Campus) MeasureAll(t radio.Tech, p geom.Point) []radio.Measurement {
-	cells := c.Cells(t)
+	return c.measure(c.Cells(t), p)
+}
+
+// MeasureAvailable is MeasureAll restricted to cells for which down
+// returns false — the fault layer's coverage-hole view. A failed cell
+// radiates nothing, so it is excluded both as a candidate server and as
+// an interferer. A nil predicate is MeasureAll.
+func (c *Campus) MeasureAvailable(t radio.Tech, p geom.Point, down func(pci int) bool) []radio.Measurement {
+	if down == nil {
+		return c.MeasureAll(t, p)
+	}
+	all := c.Cells(t)
+	live := make([]*radio.Cell, 0, len(all))
+	for _, cell := range all {
+		if !down(cell.PCI) {
+			live = append(live, cell)
+		}
+	}
+	return c.measure(live, p)
+}
+
+func (c *Campus) measure(cells []*radio.Cell, p geom.Point) []radio.Measurement {
 	rsrps := make([]float64, len(cells))
 	terms := make([]radio.InterferenceTerm, len(cells))
 	for i, cell := range cells {

@@ -1,0 +1,85 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fivegsim/internal/handoff"
+)
+
+// Scenario names a paper-calibrated fault preset. The string value is
+// the CLI spelling (`fgbench -faults <scenario>`).
+type Scenario string
+
+const (
+	// HandoffOutage replays an NSA hand-off storm: two 5G→5G roll-back
+	// interruptions at the measured 108.4 ms ladder latency (Fig. 6),
+	// then a stormy tail ten times longer — the multi-second app-layer
+	// outages §3.4 observes when signaling retries pile up.
+	HandoffOutage Scenario = "handoff-outage"
+	// EdgeOfCoverage parks the UE at the usable-coverage boundary
+	// (§3.2): the air-interface rate collapses to ≈12 % (deep MCS
+	// downshift) and HARQ round trips add ≈10 ms of one-way latency for
+	// a 5-second window.
+	EdgeOfCoverage Scenario = "edge-of-coverage"
+	// BackhaulBrownout degrades the under-provisioned wired segment
+	// (§4.2): the bottleneck serves at 15 % rate with 1 % injected loss
+	// and 8 ms of extra one-way delay for a 4-second window.
+	BackhaulBrownout Scenario = "backhaul-brownout"
+	// CellFailover kills the serving gNB cell (PCI 72, the Fig. 2b
+	// cell) for 4 seconds: a radio-link-failure re-establishment, the
+	// calibrated 4G fallback rate while the cell is down, and a
+	// re-addition interruption when it returns.
+	CellFailover Scenario = "cell-failover"
+)
+
+// Scenarios lists every preset in presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{HandoffOutage, EdgeOfCoverage, BackhaulBrownout, CellFailover}
+}
+
+// ErrUnknownScenario is the sentinel wrapped by ScenarioByName for
+// unrecognized names; match with errors.Is.
+var ErrUnknownScenario = errors.New("fault: unknown scenario")
+
+// ScenarioByName resolves the CLI spelling of a preset.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if string(s) == name {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("%w %q (have %v)", ErrUnknownScenario, name, Scenarios())
+}
+
+// Plan materializes the preset. All windows sit inside the first seven
+// simulated seconds so Quick-mode runs (8 s flows) exercise every
+// fault; full runs see the same adversity followed by recovery.
+func (s Scenario) Plan() *Plan {
+	nsaHO := handoff.ExpectedLatency(handoff.FiveToFive) // ≈108.4 ms
+	switch s {
+	case HandoffOutage:
+		return &Plan{Name: string(s), Faults: []Fault{
+			{Kind: LinkOutage, At: 2 * time.Second, Dur: nsaHO},
+			{Kind: LinkOutage, At: 4 * time.Second, Dur: nsaHO},
+			{Kind: LinkOutage, At: 6 * time.Second, Dur: 10 * nsaHO},
+		}}
+	case EdgeOfCoverage:
+		return &Plan{Name: string(s), Faults: []Fault{
+			{Kind: RadioDegrade, At: 1500 * time.Millisecond, Dur: 5 * time.Second, Scale: 0.12},
+			{Kind: LatencyBurst, At: 1500 * time.Millisecond, Dur: 5 * time.Second, Extra: 10 * time.Millisecond},
+		}}
+	case BackhaulBrownout:
+		return &Plan{Name: string(s), Faults: []Fault{
+			{Kind: WiredDegrade, At: 2 * time.Second, Dur: 4 * time.Second, Scale: 0.15},
+			{Kind: LossBurst, At: 2 * time.Second, Dur: 4 * time.Second, LossRate: 0.01},
+			{Kind: LatencyBurst, At: 2 * time.Second, Dur: 4 * time.Second, Extra: 8 * time.Millisecond},
+		}}
+	case CellFailover:
+		return &Plan{Name: string(s), Faults: []Fault{
+			{Kind: CellFailure, At: 3 * time.Second, Dur: 4 * time.Second, PCI: 72},
+		}}
+	}
+	return &Plan{Name: string(s)}
+}

@@ -32,6 +32,10 @@ type Campaign struct {
 	Duration   time.Duration
 	Events     []Event
 	MeasEvents map[EventType]int
+	// On4G is the total time the UE spent without an NR secondary
+	// (4G-only dwell) — the degraded-path exposure a coverage hole
+	// inflicts.
+	On4G time.Duration
 }
 
 // ByKind returns the events of one kind.
@@ -79,6 +83,12 @@ type Config struct {
 	// and re-adding the NR leg (vertical hand-offs).
 	NRDropRSRP float64
 	NRAddRSRP  float64
+	// CellDown, when non-nil, reports cells failed at a campaign time —
+	// the fault layer's coverage-hole predicate (fault.Plan.CellDown).
+	// Downed cells vanish from the measurement set (no service, no
+	// interference), so the walker hands off around the hole. Nil keeps
+	// the exact pre-fault behaviour.
+	CellDown func(pci int, at time.Duration) bool
 }
 
 // DefaultConfig mirrors the paper's methodology: 80 minutes at walking or
@@ -141,8 +151,8 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 			pos = pos.Add(dir.Scale(step / norm))
 		}
 
-		nr := campus.MeasureAll(radio.NR, pos)
-		lte := campus.MeasureAll(radio.LTE, pos)
+		nr := measureLive(campus, radio.NR, pos, cfg.CellDown, now)
+		lte := measureLive(campus, radio.LTE, pos, cfg.CellDown, now)
 		if st.ltePCI < 0 {
 			// Initial attach (first tick only): camp on the strongest
 			// cells without recording hand-off events.
@@ -252,8 +262,29 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 			st.ltePCI = to
 			lteTracker.Reset()
 		}
+
+		if st.nrPCI < 0 {
+			out.On4G += cfg.SampleInterval
+		}
 	}
 	return out
+}
+
+// measureLive measures every live cell at pos: with no CellDown
+// predicate it is exactly MeasureAll; otherwise downed cells are
+// filtered out via the campus's MeasureAvailable view. Should every
+// cell of a technology be down, a single dead sentinel (unusable, far
+// below every trigger threshold) keeps the serving-cell bookkeeping
+// well-defined.
+func measureLive(campus *deploy.Campus, t radio.Tech, pos geom.Point, down func(int, time.Duration) bool, at time.Duration) []radio.Measurement {
+	if down == nil {
+		return campus.MeasureAll(t, pos)
+	}
+	ms := campus.MeasureAvailable(t, pos, func(pci int) bool { return down(pci, at) })
+	if len(ms) == 0 {
+		ms = []radio.Measurement{{PCI: -1, Tech: t, RSRPdBm: -200, RSRQdB: -40, SINRdB: -30}}
+	}
+	return ms
 }
 
 // RunCampaigns runs n independent walks — walk i is RunCampaign with
@@ -268,6 +299,7 @@ func RunCampaigns(campus *deploy.Campus, cfg Config, seed int64, n, workers int)
 	all := &Campaign{Duration: time.Duration(n) * cfg.Duration, MeasEvents: map[EventType]int{}}
 	for _, c := range camps {
 		all.Events = append(all.Events, c.Events...)
+		all.On4G += c.On4G
 		for k, v := range c.MeasEvents {
 			all.MeasEvents[k] += v
 		}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math/rand"
 	"time"
 
 	"fivegsim/internal/des"
@@ -26,6 +27,14 @@ type Hop struct {
 	queuedBytes int
 	busy        bool
 	lockout     bool
+
+	// Fault-injection state (see internal/fault). All three default to
+	// the pass-through zero values, so an unfaulted hop behaves exactly
+	// as before.
+	injectLoss float64
+	injectRng  *rand.Rand
+	extraProp  time.Duration
+	rateScale  float64 // 0 means no scaling
 
 	// Stats.
 	Forwarded  int64
@@ -85,6 +94,32 @@ func NewHop(sch *des.Scheduler, name string, rateBps func() float64, prop time.D
 // QueuedBytes returns the current backlog.
 func (h *Hop) QueuedBytes() int { return h.queuedBytes }
 
+// SetInjectLoss arms (or, with rate ≤ 0, disarms) an i.i.d. drop
+// probability applied to arriving packets before they are buffered —
+// the fault layer's loss-burst window. Drops count into the hop's
+// regular drop statistics and telemetry.
+func (h *Hop) SetInjectLoss(rate float64, r *rand.Rand) {
+	if rate <= 0 {
+		h.injectLoss, h.injectRng = 0, nil
+		return
+	}
+	h.injectLoss, h.injectRng = rate, r
+}
+
+// SetExtraProp adds d to the propagation delay of every subsequent
+// delivery (a latency-burst window); d = 0 restores the baseline.
+func (h *Hop) SetExtraProp(d time.Duration) { h.extraProp = d }
+
+// SetRateScale scales the serving rate by s (a degradation window,
+// 0 < s < 1); s ≤ 0 or s = 1 restores the configured rate.
+func (h *Hop) SetRateScale(s float64) {
+	if s <= 0 || s == 1 {
+		h.rateScale = 0
+		return
+	}
+	h.rateScale = s
+}
+
 // reliefBytes is the low watermark below which an overflowed queue starts
 // accepting again. Hardware queues commonly drop until a watermark clears;
 // this lockout is what turns an overflow episode into a run of consecutive
@@ -93,6 +128,10 @@ const reliefBytes = 64 << 10
 
 // Receive implements Receiver: enqueue or drop.
 func (h *Hop) Receive(p *Packet) {
+	if h.injectLoss > 0 && h.injectRng.Float64() < h.injectLoss {
+		h.drop(p)
+		return
+	}
 	relief := reliefBytes
 	if relief > h.limitBytes/2 {
 		relief = h.limitBytes / 2
@@ -135,6 +174,9 @@ func (h *Hop) serve() {
 	h.queue = h.queue[1:]
 	h.queuedBytes -= p.Wire
 	rate := h.rateBps()
+	if h.rateScale > 0 {
+		rate *= h.rateScale
+	}
 	if rate <= 0 {
 		// Link stalled (e.g. hand-off outage): retry shortly. The packet
 		// stays at the head conceptually; re-queue it in front.
@@ -149,7 +191,7 @@ func (h *Hop) serve() {
 		h.cFwd.Inc()
 		h.cBytes.Add(int64(p.Wire))
 		target := h.next
-		h.sch.After(h.prop, func() { target.Receive(p) })
+		h.sch.After(h.prop+h.extraProp, func() { target.Receive(p) })
 		h.serve()
 	})
 }

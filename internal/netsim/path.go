@@ -48,6 +48,13 @@ type PathConfig struct {
 	Obs     *obs.Registry
 	Trace   *obs.Tracer
 	Profile bool
+
+	// Inject, when non-nil, is invoked once by NewPath after the path is
+	// wired up, before any traffic flows. It is the fault-injection
+	// attachment point (internal/fault schedules its timed faults here);
+	// netsim itself knows nothing about fault plans. Nil is the exact
+	// pre-fault behaviour.
+	Inject func(sch *des.Scheduler, p *Path)
 }
 
 // DefaultPath returns the calibrated path for a technology/time of day.
@@ -187,6 +194,10 @@ func NewPath(sch *des.Scheduler, cfg PathConfig) *Path {
 		serverWired.SetObs(cfg.Obs, cfg.Trace)
 		ulWired.SetObs(cfg.Obs, cfg.Trace)
 		p.UplinkRAN.SetObs(cfg.Obs, cfg.Trace)
+	}
+
+	if cfg.Inject != nil {
+		cfg.Inject(sch, p)
 	}
 
 	return p

@@ -32,6 +32,7 @@ type RANHop struct {
 	busy          bool
 	outageUntil   time.Duration
 	lastDeliverAt time.Duration
+	rateScale     float64 // fault-injection degradation; 0 means no scaling
 
 	// Stats.
 	Forwarded    int64
@@ -99,6 +100,17 @@ func (h *RANHop) SetOutage(d time.Duration) {
 	}
 }
 
+// SetRateScale scales the air-interface rate by s (a fault-injection
+// degradation window: weak MCS at the coverage edge); s ≤ 0 or s = 1
+// restores the configured rate.
+func (h *RANHop) SetRateScale(s float64) {
+	if s <= 0 || s == 1 {
+		h.rateScale = 0
+		return
+	}
+	h.rateScale = s
+}
+
 // Receive implements Receiver.
 func (h *RANHop) Receive(p *Packet) {
 	if h.queuedBytes+p.Wire > h.limit {
@@ -133,6 +145,9 @@ func (h *RANHop) serve() {
 	h.queue = h.queue[1:]
 	h.queuedBytes -= p.Wire
 	rate := h.rateBps() * h.airScale
+	if h.rateScale > 0 {
+		rate *= h.rateScale
+	}
 	if rate <= 0 {
 		h.queue = append([]*Packet{p}, h.queue...)
 		h.queuedBytes += p.Wire

@@ -17,6 +17,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -103,15 +104,27 @@ func ShardSize(n, size int) []Range {
 // Shards are claimed dynamically, so execution order across goroutines
 // is unspecified; fn must confine its writes to shard-owned state.
 func Do(workers int, shards []Range, fn func(Range)) {
+	_ = DoCtx(context.Background(), workers, shards, fn)
+}
+
+// DoCtx is Do with cancellation: ctx.Err() is checked before each shard
+// is claimed, so a canceled context stops the fan-out within one shard
+// boundary — shards already running finish, unclaimed shards never
+// start. Returns the context error (wrapped verbatim) when the run was
+// cut short, nil when every shard executed.
+func DoCtx(ctx context.Context, workers int, shards []Range, fn func(Range)) error {
 	workers = Workers(workers)
 	if workers > len(shards) {
 		workers = len(shards)
 	}
 	if workers <= 1 {
 		for _, s := range shards {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(s)
 		}
-		return
+		return ctx.Err()
 	}
 	var next int64
 	var wg sync.WaitGroup
@@ -120,6 +133,9 @@ func Do(workers int, shards []Range, fn func(Range)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(shards) {
 					return
@@ -129,6 +145,7 @@ func Do(workers int, shards []Range, fn func(Range)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Map runs fn for every index in [0, n) across up to workers goroutines
@@ -136,14 +153,22 @@ func Do(workers int, shards []Range, fn func(Range)) {
 // count. Each call owns its slot, so fn may be expensive and internally
 // stateful as long as distinct indices do not share mutable state.
 func Map[T any](workers, n int, fn func(i int) T) []T {
+	out, _ := MapCtx(context.Background(), workers, n, fn)
+	return out
+}
+
+// MapCtx is Map with cancellation (the DoCtx contract): on a canceled
+// context the returned error is non-nil and unexecuted slots hold zero
+// values — callers must discard the slice when err != nil.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) T) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	out := make([]T, n)
-	Do(workers, ShardSize(n, 1), func(r Range) {
+	err := DoCtx(ctx, workers, ShardSize(n, 1), func(r Range) {
 		out[r.Lo] = fn(r.Lo)
 	})
-	return out
+	return out, err
 }
 
 // ShardMap runs fn once per shard and returns the per-shard results in

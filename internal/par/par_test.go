@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -91,9 +93,9 @@ func TestShardExplicitCases(t *testing.T) {
 		n, shards int
 		wantLens  []int
 	}{
-		{0, 4, nil},           // n = 0
-		{1, 4, []int{1}},      // n = 1, shards > items
-		{3, 8, []int{1, 1, 1}}, // shards > items collapse to n
+		{0, 4, nil},             // n = 0
+		{1, 4, []int{1}},        // n = 1, shards > items
+		{3, 8, []int{1, 1, 1}},  // shards > items collapse to n
 		{10, 3, []int{4, 3, 3}}, // uneven remainder up front
 		{10, 1, []int{10}},
 		{5, 5, []int{1, 1, 1, 1, 1}},
@@ -165,5 +167,61 @@ func TestShardMapMergesInShardOrder(t *testing.T) {
 				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
 			}
 		}
+	}
+}
+
+// TestDoCtxCancellation: a canceled context stops the fan-out within one
+// shard boundary on both the serial and the parallel path, and the
+// context error surfaces verbatim.
+func TestDoCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := DoCtx(ctx, workers, ShardSize(100, 1), func(r Range) {
+			if atomic.AddInt32(&ran, 1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: DoCtx returned %v, want context.Canceled", workers, err)
+		}
+		// Workers already past the ctx check when cancel fired may each
+		// finish one more shard; nothing beyond that starts.
+		if n := atomic.LoadInt32(&ran); n >= 100 || n < 3 {
+			t.Fatalf("workers=%d: %d shards ran after cancellation at shard 3", workers, n)
+		}
+	}
+}
+
+func TestDoCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := int32(0)
+		err := DoCtx(ctx, workers, ShardSize(10, 1), func(Range) { atomic.AddInt32(&ran, 1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: pre-canceled DoCtx returned %v", workers, err)
+		}
+		if ran != 0 {
+			t.Fatalf("workers=%d: %d shards ran under a pre-canceled context", workers, ran)
+		}
+	}
+}
+
+func TestMapCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 10, func(i int) int { return i + 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MapCtx returned %v, want context.Canceled", err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("slot %d = %d ran under a canceled context", i, v)
+		}
+	}
+	if _, err := MapCtx(context.Background(), 4, 10, func(i int) int { return i }); err != nil {
+		t.Fatalf("uncanceled MapCtx errored: %v", err)
 	}
 }

@@ -62,11 +62,33 @@ type Probe struct {
 // MeasureServer draws n RTT probes to one server (queueing jitter is
 // log-normal around the base).
 func MeasureServer(t radio.Tech, s Server, n int, seed int64) []Probe {
+	return MeasureServerDegraded(t, s, n, seed, Degradation{})
+}
+
+// Degradation models a browned-out wired segment as probes see it:
+// ExtraRTT of deterministic inflation (rerouting, upstream queueing)
+// plus a multiplicative JitterScale on the log-normal queueing term (a
+// segment draining at reduced rate queues proportionally longer). The
+// zero value is no degradation; JitterScale 0 means 1.
+type Degradation struct {
+	ExtraRTT    time.Duration
+	JitterScale float64
+}
+
+// MeasureServerDegraded is MeasureServer through a degraded segment.
+// The probe stream and draw sequence are identical to the clean
+// measurement, so a zero Degradation reproduces MeasureServer byte for
+// byte and a (seed, Degradation) pair is deterministic.
+func MeasureServerDegraded(t radio.Tech, s Server, n int, seed int64, deg Degradation) []Probe {
 	r := rng.New(seed).Stream("wire." + s.Name + t.String())
-	base := BaseRTT(t, s.DistanceKm)
+	base := BaseRTT(t, s.DistanceKm) + deg.ExtraRTT
+	scale := deg.JitterScale
+	if scale == 0 {
+		scale = 1
+	}
 	out := make([]Probe, n)
 	for i := range out {
-		jitter := rng.LogNormal(r, math.Log(1.5), 0.8) // ms of queueing
+		jitter := rng.LogNormal(r, math.Log(1.5), 0.8) * scale // ms of queueing
 		rtt := base + time.Duration(jitter*float64(time.Millisecond))
 		out[i] = Probe{Server: s, Tech: t, RTT: rtt}
 	}

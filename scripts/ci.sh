@@ -21,4 +21,7 @@ go test ./...
 echo "== go test -race -short (parallel engine under the race detector) =="
 go test -race -short ./...
 
+echo "== fault determinism short suite =="
+go test -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/fault/ ./internal/par/ .
+
 echo "ci: all green"

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race faults bench ci
+.PHONY: build test race faults bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,10 +25,18 @@ race-full:
 faults:
 	$(GO) test -race -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/fault/ ./internal/par/ .
 
-# Scheduler/telemetry overhead benches plus the per-figure benches.
+# Scheduler/telemetry overhead benches plus the per-figure benches, then
+# the fgperf harness regenerating the checked-in regression baseline
+# (BENCH_5.json; includes the campaign-scale benches, so this is slow).
 bench:
 	$(GO) test -run xxx -bench=BenchmarkSchedulerObs -benchtime=2s .
 	$(GO) test -run xxx -bench=. -benchmem .
+	$(GO) run ./cmd/fgperf bench -out BENCH_5.json
+
+# The quick fgperf subset gated against the checked-in baseline — the
+# same check CI's bench-smoke step runs.
+bench-smoke:
+	$(GO) run ./cmd/fgperf bench -quick -compare BENCH_5.json
 
 # Serial vs parallel wall-clock of the full quick campaign.
 bench-workers:

@@ -100,7 +100,7 @@ func benchScheduler(b *testing.B, s *des.Scheduler) {
 	b.Helper()
 	const fanout = 32
 	fired := 0
-	var timers [fanout]*des.Timer
+	var timers [fanout]des.Timer
 	var tick func()
 	tick = func() {
 		fired++
@@ -108,7 +108,7 @@ func benchScheduler(b *testing.B, s *des.Scheduler) {
 			return
 		}
 		i := fired % fanout
-		if timers[i] != nil && fired%4 == 0 {
+		if fired%4 == 0 {
 			timers[i].Cancel()
 		}
 		timers[i] = s.After(time.Duration(fanout+i)*time.Microsecond, func() {})

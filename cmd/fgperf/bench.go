@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fivegsim/internal/perf"
+)
+
+// benchMain implements `fgperf bench`: run the named hot-path benchmarks,
+// optionally write the JSON report, and optionally gate against a prior
+// report, exiting nonzero on regression.
+//
+//	fgperf bench -quick -out BENCH_5.json
+//	fgperf bench -quick -compare BENCH_5.json -threshold 0.15
+func benchMain(args []string) {
+	fs := flag.NewFlagSet("fgperf bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "run only the cheap benchmark subset (CI smoke)")
+	out := fs.String("out", "", "write the JSON report to this path")
+	compare := fs.String("compare", "", "gate against this baseline report")
+	threshold := fs.Float64("threshold", 0.15, "ns/op regression gate (fraction over baseline)")
+	list := fs.Bool("list", false, "list benchmark names and exit")
+	fs.Parse(args)
+
+	if *list {
+		for _, sp := range perf.Specs() {
+			tag := ""
+			if sp.Quick {
+				tag = " (quick)"
+			}
+			fmt.Printf("%s%s\n", sp.Name, tag)
+		}
+		return
+	}
+
+	results := perf.Run(*quick, func(name string) {
+		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
+	})
+	report := perf.Report{Schema: 1, Host: perf.CurrentHost(), Benchmarks: results}
+	for _, r := range results {
+		fmt.Printf("%-18s %12d ns/op %10d allocs/op %12d B/op  (n=%d)\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.N)
+	}
+
+	if *out != "" {
+		if err := report.WriteFile(*out); err != nil {
+			log.Fatalf("fgperf bench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+
+	if *compare != "" {
+		baseline, err := perf.ReadReport(*compare)
+		if err != nil {
+			log.Fatalf("fgperf bench: %v", err)
+		}
+		c := perf.Compare(baseline, report, *threshold)
+		for _, w := range c.Warnings {
+			fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+		}
+		if len(c.Failures) > 0 {
+			for _, f := range c.Failures {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s\n", *compare)
+	}
+}

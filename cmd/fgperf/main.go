@@ -5,12 +5,19 @@
 //	fgperf -tech 5g -cc bbr -t 20s
 //	fgperf -tech 4g -udp -rate 100M -t 10s
 //	fgperf -tech 5g -udp -baseline
+//
+// The bench subcommand runs the hot-path benchmark harness instead (see
+// internal/perf): named benchmarks, a JSON report, and a regression gate
+// against a checked-in baseline.
+//
+//	fgperf bench -quick -compare BENCH_5.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -22,6 +29,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		benchMain(os.Args[2:])
+		return
+	}
 	techFlag := flag.String("tech", "5g", "radio technology: 4g or 5g")
 	ccName := flag.String("cc", "bbr", "congestion control: "+strings.Join(cc.Names(), ", "))
 	udp := flag.Bool("udp", false, "run UDP instead of TCP")

@@ -1,0 +1,43 @@
+package coverage
+
+import (
+	"testing"
+
+	"fivegsim/internal/geom"
+)
+
+// A draw at (or, through float rounding in the summed total, just past)
+// the end of the concatenated road graph must clamp to the final road's
+// endpoint — not fall through to the zero point.
+func TestRoadPointClampsPastEnd(t *testing.T) {
+	roads := []geom.Segment{
+		{A: geom.Point{X: 0, Y: 0}, B: geom.Point{X: 100, Y: 0}},
+		{A: geom.Point{X: 100, Y: 0}, B: geom.Point{X: 100, Y: 50}},
+	}
+	var total float64
+	for _, r := range roads {
+		total += r.Length()
+	}
+	end := roads[len(roads)-1].B
+	for _, at := range []float64{total, total + 1e-9, total * (1 + 1e-15)} {
+		if p := roadPoint(roads, at); p != end {
+			t.Fatalf("roadPoint(%.12f) = %+v, want clamp to %+v", at, p, end)
+		}
+	}
+}
+
+func TestRoadPointInterior(t *testing.T) {
+	roads := []geom.Segment{
+		{A: geom.Point{X: 0, Y: 0}, B: geom.Point{X: 100, Y: 0}},
+		{A: geom.Point{X: 100, Y: 0}, B: geom.Point{X: 100, Y: 50}},
+	}
+	if p := roadPoint(roads, 0); p != (geom.Point{X: 0, Y: 0}) {
+		t.Fatalf("start: got %+v", p)
+	}
+	if p := roadPoint(roads, 50); p != (geom.Point{X: 50, Y: 0}) {
+		t.Fatalf("mid first segment: got %+v", p)
+	}
+	if p := roadPoint(roads, 125); p != (geom.Point{X: 100, Y: 25}) {
+		t.Fatalf("mid second segment: got %+v", p)
+	}
+}

@@ -10,7 +10,6 @@
 package deploy
 
 import (
-	"hash/fnv"
 	"math"
 	"sort"
 
@@ -49,6 +48,11 @@ type Campus struct {
 	LTECells []*radio.Cell
 
 	seed int64
+
+	// Cached best-server field maps, one per technology (see fieldmap.go).
+	// Buckets fill lazily as BestServer queries touch them.
+	nrField  *fieldMap
+	lteField *fieldMap
 }
 
 // siteSpec describes one deterministic site position and its sector plan.
@@ -168,6 +172,8 @@ func New(seed int64) *Campus {
 		c.NRSites[i].CoSitedWith = i // first six eNBs share the gNB poles
 		c.LTESites[i].CoSitedWith = i
 	}
+	c.nrField = newFieldMap(c, radio.NR)
+	c.lteField = newFieldMap(c, radio.LTE)
 	return c
 }
 
@@ -296,18 +302,17 @@ func (c *Campus) measure(cells []*radio.Cell, p geom.Point) []radio.Measurement 
 	for i, cell := range cells {
 		ms[i] = radio.MeasureCell(cell, p, rsrps[i], terms)
 	}
-	sort.Slice(ms, func(i, j int) bool { return ms[i].RSRPdBm > ms[j].RSRPdBm })
+	// Strict total order: exact RSRP ties (possible at lattice nodes where
+	// two co-sited sectors see identical gain and shadow) break on PCI, so
+	// every best-server resolution — including the field-map fast path —
+	// agrees on the winner.
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].RSRPdBm != ms[j].RSRPdBm {
+			return ms[i].RSRPdBm > ms[j].RSRPdBm
+		}
+		return ms[i].PCI < ms[j].PCI
+	})
 	return ms
-}
-
-// BestServer returns the strongest cell's measurement at p, or ok=false if
-// the technology has no cells.
-func (c *Campus) BestServer(t radio.Tech, p geom.Point) (radio.Measurement, bool) {
-	ms := c.MeasureAll(t, p)
-	if len(ms) == 0 {
-		return radio.Measurement{}, false
-	}
-	return ms[0], true
 }
 
 // valueNoise returns a smooth pseudo-random field in units of standard
@@ -336,21 +341,21 @@ func valueNoise(seed int64, pci int, p geom.Point) float64 {
 }
 
 // latticeGauss returns a deterministic ≈N(0,1) value at a lattice node via
-// hashing and the sum-of-uniforms approximation.
+// hashing and the sum-of-uniforms approximation. The FNV-1a hash is
+// inlined byte by byte — bit-identical to hash/fnv over the same 32-byte
+// key, but with no hasher allocation, since this sits under every RSRP
+// evaluation.
 func latticeGauss(seed int64, pci int, i, j int64) float64 {
-	h := fnv.New64a()
-	var buf [32]byte
-	put := func(off int, v uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	x := uint64(offset64)
+	for _, v := range [4]uint64{uint64(seed), uint64(pci), uint64(i), uint64(j)} {
 		for k := 0; k < 8; k++ {
-			buf[off+k] = byte(v >> (8 * k))
+			x = (x ^ uint64(byte(v>>(8*k)))) * prime64
 		}
 	}
-	put(0, uint64(seed))
-	put(8, uint64(pci))
-	put(16, uint64(i))
-	put(24, uint64(j))
-	h.Write(buf[:])
-	x := h.Sum64()
 	// Twelve 5-bit uniforms summed: mean 6·(31/2), var ≈ 12·(32²−1)/12.
 	var sum float64
 	for k := 0; k < 12; k++ {

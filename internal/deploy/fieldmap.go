@@ -1,0 +1,169 @@
+package deploy
+
+import (
+	"math"
+	"sync/atomic"
+
+	"fivegsim/internal/geom"
+	"fivegsim/internal/radio"
+)
+
+// fieldMap is the cached coarse coverage map of one technology: the campus
+// partitioned into fmBucketM-sized squares, each holding the shortlist of
+// cells that can plausibly win best-server anywhere inside it. BestServer
+// then evaluates a handful of candidates instead of every cell.
+//
+// A bucket's shortlist is every cell that comes within fmMarginDB of the
+// strongest cell at any of a 5×5 grid of probe points over the bucket.
+// The margin is far wider than the shadow field can swing between probes
+// (the fading is spatially correlated with a 25 m lattice — the same pitch
+// as the buckets — so it varies by only a few dB within one), which is why
+// the shortlist winner matches the exhaustive scan; the equivalence is
+// locked in by TestBestServerMatchesExhaustive rather than assumed.
+//
+// Buckets are built lazily on first lookup, so campuses whose experiments
+// never query a region pay nothing for it. Builds are deterministic pure
+// functions of (seed, geometry), so concurrent builders racing on the same
+// bucket store identical shortlists; the atomic pointer makes the publish
+// safe under RunParallel's worker pool.
+type fieldMap struct {
+	campus *Campus
+	tech   radio.Tech
+	nx, ny int
+	bucket []atomic.Pointer[[]*radio.Cell]
+}
+
+const (
+	// fmBucketM matches the shadow-field lattice pitch (campus.go).
+	fmBucketM = 25.0
+	// fmMarginDB is the shortlist admission margin below the per-probe
+	// maximum. Chosen empirically with slack: mismatches against the
+	// exhaustive scan appear only below ≈8 dB.
+	fmMarginDB = 14.0
+)
+
+func newFieldMap(c *Campus, tech radio.Tech) *fieldMap {
+	f := &fieldMap{
+		campus: c,
+		tech:   tech,
+		nx:     int(c.Bounds.Width()/fmBucketM) + 1,
+		ny:     int(c.Bounds.Height()/fmBucketM) + 1,
+	}
+	f.bucket = make([]atomic.Pointer[[]*radio.Cell], f.nx*f.ny)
+	return f
+}
+
+// candidates returns the shortlist covering p, or nil when p lies outside
+// the bucketed area (callers fall back to the exhaustive scan).
+func (f *fieldMap) candidates(p geom.Point) []*radio.Cell {
+	bx := int(p.X / fmBucketM)
+	by := int(p.Y / fmBucketM)
+	if p.X < 0 || p.Y < 0 || bx >= f.nx || by >= f.ny {
+		return nil
+	}
+	idx := by*f.nx + bx
+	if sl := f.bucket[idx].Load(); sl != nil {
+		return *sl
+	}
+	sl := f.build(bx, by)
+	f.bucket[idx].Store(&sl)
+	return sl
+}
+
+// build probes a 5×5 grid over bucket (bx, by) — edges and corners
+// included, since queries land there too — and admits every cell within
+// fmMarginDB of the strongest at any probe.
+func (f *fieldMap) build(bx, by int) []*radio.Cell {
+	cells := f.campus.Cells(f.tech)
+	keep := make([]bool, len(cells))
+	rsrp := make([]float64, len(cells))
+	offsets := [5]float64{0, 0.25, 0.5, 0.75, 1}
+	for _, oy := range offsets {
+		for _, ox := range offsets {
+			p := geom.Point{
+				X: (float64(bx) + ox) * fmBucketM,
+				Y: (float64(by) + oy) * fmBucketM,
+			}
+			best := math.Inf(-1)
+			for i, cell := range cells {
+				rsrp[i] = f.campus.RSRPAt(cell, p)
+				if rsrp[i] > best {
+					best = rsrp[i]
+				}
+			}
+			for i := range cells {
+				if rsrp[i] >= best-fmMarginDB {
+					keep[i] = true
+				}
+			}
+		}
+	}
+	out := make([]*radio.Cell, 0, 4)
+	for i, k := range keep {
+		if k {
+			out = append(out, cells[i])
+		}
+	}
+	return out
+}
+
+func (c *Campus) fieldFor(t radio.Tech) *fieldMap {
+	if t == radio.NR {
+		return c.nrField
+	}
+	return c.lteField
+}
+
+// BestServer returns the strongest cell's measurement at p, or ok=false if
+// the technology has no cells. It resolves the winner over the cached
+// field-map shortlist — exact RSRP, evaluated for 2–4 candidates instead
+// of every cell — and computes the KPI sample against the shortlist's
+// interference terms. Cells excluded from the shortlist sit ≥14 dB below
+// the winner, so their interference contribution is negligible.
+func (c *Campus) BestServer(t radio.Tech, p geom.Point) (radio.Measurement, bool) {
+	f := c.fieldFor(t)
+	if f == nil {
+		return c.BestServerExhaustive(t, p)
+	}
+	cand := f.candidates(p)
+	if cand == nil {
+		return c.BestServerExhaustive(t, p)
+	}
+	if len(cand) == 0 {
+		return radio.Measurement{}, false
+	}
+	// Fixed-capacity scratch keeps the per-query path allocation-free
+	// (the LTE layer tops out at 34 cells).
+	var rsrpArr [40]float64
+	var termArr [40]radio.InterferenceTerm
+	n := len(cand)
+	if n > len(rsrpArr) {
+		return c.BestServerExhaustive(t, p)
+	}
+	rsrps := rsrpArr[:n]
+	terms := termArr[:n]
+	bestI := 0
+	for i, cell := range cand {
+		rsrps[i] = c.RSRPAt(cell, p)
+		// Same tie-break as MeasureAll's sort: equal RSRP goes to the
+		// lower PCI (shortlists are PCI-ordered only within a site, so
+		// compare explicitly).
+		if rsrps[i] > rsrps[bestI] ||
+			(rsrps[i] == rsrps[bestI] && cell.PCI < cand[bestI].PCI) {
+			bestI = i
+		}
+		terms[i] = radio.InterferenceTerm{PCI: cell.PCI, RSRPdBm: rsrps[i], Load: cell.Load}
+	}
+	return radio.MeasureCell(cand[bestI], p, rsrps[bestI], terms), true
+}
+
+// BestServerExhaustive is the reference implementation of BestServer: a
+// full measurement of every cell. TestBestServerMatchesExhaustive holds
+// the fast path to this one.
+func (c *Campus) BestServerExhaustive(t radio.Tech, p geom.Point) (radio.Measurement, bool) {
+	ms := c.MeasureAll(t, p)
+	if len(ms) == 0 {
+		return radio.Measurement{}, false
+	}
+	return ms[0], true
+}

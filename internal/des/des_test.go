@@ -180,7 +180,7 @@ func TestPendingExcludesCanceled(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := New()
 	s.SetObs(reg, nil)
-	var timers []*Timer
+	var timers []Timer
 	for i := 1; i <= 6; i++ {
 		timers = append(timers, s.At(time.Duration(i)*time.Second, func() {}))
 	}

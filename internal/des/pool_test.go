@@ -1,0 +1,217 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStaleTimerCannotCancelRecycledEvent is the free-list safety
+// regression: a Timer for an event that fired and whose storage was
+// recycled for a newer event must stay a no-op — the generation counter,
+// not pointer identity, decides whether Cancel touches the slot.
+func TestStaleTimerCannotCancelRecycledEvent(t *testing.T) {
+	s := New()
+	firedFirst := false
+	stale := s.After(time.Millisecond, func() { firedFirst = true })
+	s.Run()
+	if !firedFirst {
+		t.Fatal("first event did not fire")
+	}
+	if s.FreeListLen() == 0 {
+		t.Fatal("fired event was not recycled")
+	}
+
+	// The next schedule must reuse the fired event's storage.
+	firedSecond := false
+	fresh := s.After(time.Millisecond, func() { firedSecond = true })
+	if s.FreeListLen() != 0 {
+		t.Fatal("second event did not come from the free list")
+	}
+
+	stale.Cancel() // stale handle: must NOT cancel the recycled slot
+	if stale.Active() {
+		t.Fatal("stale timer reports active")
+	}
+	if !fresh.Active() {
+		t.Fatal("fresh timer was deactivated by a stale handle")
+	}
+	s.Run()
+	if !firedSecond {
+		t.Fatal("stale Cancel killed the recycled event")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", s.Pending())
+	}
+}
+
+// TestStaleTimerAfterCancelReap covers the other recycle path: an event
+// canceled and then reaped (popped or compacted) is recycled too, and the
+// original Timer must not be able to cancel its successor.
+func TestStaleTimerAfterCancelReap(t *testing.T) {
+	s := New()
+	stale := s.After(time.Millisecond, func() {})
+	stale.Cancel()
+	s.Run() // reaps the canceled event into the free list
+	if s.FreeListLen() == 0 {
+		t.Fatal("canceled event was not recycled after reaping")
+	}
+	ok := false
+	fresh := s.After(time.Millisecond, func() { ok = true })
+	stale.Cancel() // double-cancel via stale handle: no-op
+	if !fresh.Active() {
+		t.Fatal("stale double-cancel deactivated the recycled event")
+	}
+	s.Run()
+	if !ok {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestHeapCompaction: canceling more than half the queue (past the
+// compactMin floor) must reap the canceled events in place without
+// disturbing the firing order of the survivors.
+func TestHeapCompaction(t *testing.T) {
+	s := New()
+	const n = 100
+	var timers []Timer
+	var fired []int
+	for i := 0; i < n; i++ {
+		i := i
+		timers = append(timers, s.At(time.Duration(i)*time.Millisecond, func() { fired = append(fired, i) }))
+	}
+	// Cancel everything except every fifth event: 80 canceled events
+	// push well past the half-the-heap compaction trigger.
+	for i := 0; i < n; i++ {
+		if i%5 != 0 {
+			timers[i].Cancel()
+		}
+	}
+	if s.QueueLen() >= n {
+		t.Fatalf("QueueLen = %d after mass cancel, want compacted (< %d)", s.QueueLen(), n)
+	}
+	if s.Pending() != n/5 {
+		t.Fatalf("Pending = %d, want %d", s.Pending(), n/5)
+	}
+	s.Run()
+	if len(fired) != n/5 {
+		t.Fatalf("fired %d events, want %d", len(fired), n/5)
+	}
+	for k, v := range fired {
+		if v != 5*k {
+			t.Fatalf("fired[%d] = %d, want %d (order disturbed by compaction)", k, v, 5*k)
+		}
+	}
+}
+
+// TestAtArgDelivery: arg-carrying events fire with their payload and
+// interleave with plain events in strict (at, seq) order.
+func TestAtArgDelivery(t *testing.T) {
+	s := New()
+	var got []int
+	record := func(a any) { got = append(got, *a.(*int)) }
+	one, two, three := 1, 2, 3
+	s.AtArg(2*time.Millisecond, record, &two)
+	s.At(time.Millisecond, func() { got = append(got, one) })
+	s.AfterArg(3*time.Millisecond, record, &three)
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAtArgCancel: arg events cancel like plain ones.
+func TestAtArgCancel(t *testing.T) {
+	s := New()
+	fired := false
+	v := 0
+	tm := s.AtArg(time.Millisecond, func(any) { fired = true }, &v)
+	if !tm.Active() {
+		t.Fatal("arg timer should be active")
+	}
+	tm.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("canceled arg event fired")
+	}
+}
+
+// TestZeroTimerNoOp: the zero Timer value is inert.
+func TestZeroTimerNoOp(t *testing.T) {
+	var tm Timer
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("zero timer reports active")
+	}
+}
+
+// TestFiringOrderMatchesReferenceHeap drives a mixed schedule/cancel
+// workload and checks the firing order against an insertion-sorted
+// reference — the determinism contract the 4-ary heap must honor.
+func TestFiringOrderMatchesReferenceHeap(t *testing.T) {
+	s := New()
+	type ref struct {
+		at  time.Duration
+		id  int
+		cut bool
+	}
+	var want []ref
+	var got []int
+	id := 0
+	var timers []Timer
+	// A deterministic pseudo-random-ish schedule with reschedules.
+	ats := []int{7, 3, 3, 9, 1, 4, 4, 4, 8, 2, 6, 5, 0, 9, 3}
+	for _, a := range ats {
+		a, i := time.Duration(a)*time.Millisecond, id
+		timers = append(timers, s.At(a, func() { got = append(got, i) }))
+		want = append(want, ref{at: a, id: i})
+		id++
+	}
+	// Cancel every third.
+	for i := 0; i < len(timers); i += 3 {
+		timers[i].Cancel()
+		want[i].cut = true
+	}
+	s.Run()
+	var wantIDs []int
+	// Stable sort by (at, insertion order) = (at, seq).
+	for at := time.Duration(0); at <= 9*time.Millisecond; at += time.Millisecond {
+		for _, r := range want {
+			if r.at == at && !r.cut {
+				wantIDs = append(wantIDs, r.id)
+			}
+		}
+	}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("fired %d, want %d", len(got), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if got[i] != wantIDs[i] {
+			t.Fatalf("firing order %v, want %v", got, wantIDs)
+		}
+	}
+}
+
+// TestFreeListReuseBounded: a steady schedule/fire loop must stabilize on
+// a tiny recycled population instead of growing the heap or free list.
+func TestFreeListReuseBounded(t *testing.T) {
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10_000 {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+	if s.FreeListLen() > 4 {
+		t.Fatalf("free list grew to %d on a 1-deep workload", s.FreeListLen())
+	}
+	if n != 10_000 {
+		t.Fatalf("ran %d events", n)
+	}
+}

@@ -60,9 +60,10 @@ func (c CrossConfig) MeanRate() float64 {
 }
 
 // StartCross launches the modulated background source injecting into
-// target. Packets are marked Background and terminate in a Sink after the
-// bottleneck.
-func StartCross(sch *des.Scheduler, cfg CrossConfig, r *rand.Rand, target Receiver) {
+// target. Packets are marked Background, drawn from pool (nil degrades to
+// plain allocation), and terminate in a Sink after the bottleneck, where
+// the path's delivery wrapper recycles them.
+func StartCross(sch *des.Scheduler, cfg CrossConfig, r *rand.Rand, pool *PacketPool, target Receiver) {
 	if cfg.Interval <= 0 {
 		return
 	}
@@ -79,15 +80,22 @@ func StartCross(sch *des.Scheduler, cfg CrossConfig, r *rand.Rand, target Receiv
 			rate = rng.Uniform(r, 0, cfg.IdleHiBps)
 		}
 	}
+	// emit is the single injection callback shared by every packet; the
+	// origin timestamp is stamped at fire time, as before.
+	emit := func(a any) {
+		p := a.(*Packet)
+		p.SentAt = sch.Now()
+		target.Receive(p)
+	}
 	var pump func()
 	pump = func() {
 		tokens += rate / 8 * pumpTick.Seconds()
 		n := int(tokens / float64(cfg.PacketWire))
 		tokens -= float64(n * cfg.PacketWire)
 		for i := 0; i < n; i++ {
-			sch.After(time.Duration(i)*pumpTick/time.Duration(n), func() {
-				target.Receive(&Packet{FlowID: -1, Wire: cfg.PacketWire, Background: true, SentAt: sch.Now()})
-			})
+			p := pool.Get()
+			p.FlowID, p.Wire, p.Background = -1, cfg.PacketWire, true
+			sch.AfterArg(time.Duration(i)*pumpTick/time.Duration(n), emit, p)
 		}
 		sch.After(pumpTick, pump)
 	}

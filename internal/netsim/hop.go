@@ -11,11 +11,17 @@ import (
 // Hop is one store-and-forward element: a drop-tail FIFO buffer feeding a
 // fixed-rate serializer, followed by a propagation delay. It is the router
 // model under the paper's §4.2 buffer analysis.
+//
+// The per-packet path is allocation-free in steady state: the queue is a
+// ring buffer, the serializer holds its single in-flight packet in a
+// struct slot, and the scheduler callbacks (serve retry, tx complete,
+// delivery) are bound once at construction — the delivery leg rides the
+// scheduler's arg-carrying events instead of a per-packet closure.
 type Hop struct {
 	Name string
 
 	sch     *des.Scheduler
-	rateBps func() float64
+	rateBps float64
 	prop    time.Duration
 	// limitBytes is the buffer size; at or beyond it arriving packets are
 	// dropped (drop-tail), the behaviour the paper's bursty loss pattern
@@ -23,10 +29,21 @@ type Hop struct {
 	limitBytes int
 	next       Receiver
 
-	queue       []*Packet
+	queue       pktRing
 	queuedBytes int
 	busy        bool
 	lockout     bool
+
+	// inflight is the packet occupying the serializer; the pre-bound
+	// callbacks below are what keep the hot path closure-free.
+	inflight  *Packet
+	serveFn   func()
+	txDoneFn  func()
+	deliverFn func(any)
+
+	// pool, when set, recycles pool-owned packets this hop terminates
+	// (drops). Nil is a no-op.
+	pool *PacketPool
 
 	// Fault-injection state (see internal/fault). All three default to
 	// the pass-through zero values, so an unfaulted hop behaves exactly
@@ -43,16 +60,20 @@ type Hop struct {
 	inDrop     bool
 	MaxQueued  int
 
-	// OnDrop, if set, observes every dropped packet.
+	// OnDrop, if set, observes every dropped packet (before any pool
+	// release — the packet is still intact inside the callback).
 	OnDrop func(p *Packet)
 
-	// Telemetry handles (nil = off), resolved once by SetObs.
-	cEnq   *obs.Counter
-	cDrop  *obs.Counter
-	cFwd   *obs.Counter
-	cBytes *obs.Counter
-	occ    *obs.Histogram
-	trace  *obs.Tracer
+	// Telemetry handles (nil = off), resolved once by SetObs; dropLabel
+	// is pre-formatted so the obs-on drop path does no per-packet
+	// string building.
+	cEnq      *obs.Counter
+	cDrop     *obs.Counter
+	cFwd      *obs.Counter
+	cBytes    *obs.Counter
+	occ       *obs.Histogram
+	trace     *obs.Tracer
+	dropLabel string
 }
 
 // SetObs attaches `netsim.*{hop=Name}` instruments: packets
@@ -72,24 +93,42 @@ func (h *Hop) SetObs(reg *obs.Registry, tr *obs.Tracer) {
 	h.trace = tr
 }
 
-// drop records one dropped packet in the stats and telemetry.
+// SetPool attaches the pool used to recycle pool-owned packets the hop
+// drops.
+func (h *Hop) SetPool(pl *PacketPool) { h.pool = pl }
+
+// drop records one dropped packet in the stats and telemetry, then
+// recycles it if pool-owned.
 func (h *Hop) drop(p *Packet) {
 	h.Dropped++
 	h.cDrop.Inc()
-	h.trace.Instant("drop "+h.Name, "netsim", h.sch.Now())
+	h.trace.Instant(h.dropLabel, "netsim", h.sch.Now())
 	if h.OnDrop != nil {
 		h.OnDrop(p)
 	}
+	h.pool.Release(p)
 }
 
-// NewHop creates a hop serving at rateBps (callable, so radio hops can be
-// time-varying) with the given propagation delay and buffer limit.
-func NewHop(sch *des.Scheduler, name string, rateBps func() float64, prop time.Duration, limitBytes int, next Receiver) *Hop {
-	return &Hop{
+// NewHop creates a hop serving at rateBps with the given propagation
+// delay and buffer limit. Use SetRate for time-varying links.
+func NewHop(sch *des.Scheduler, name string, rateBps float64, prop time.Duration, limitBytes int, next Receiver) *Hop {
+	h := &Hop{
 		Name: name, sch: sch, rateBps: rateBps, prop: prop,
 		limitBytes: limitBytes, next: next,
+		dropLabel: "drop " + name,
 	}
+	h.serveFn = h.serve
+	h.txDoneFn = h.txDone
+	h.deliverFn = func(a any) { h.next.Receive(a.(*Packet)) }
+	return h
 }
+
+// SetRate changes the serving rate. It takes effect for the next packet
+// entering the serializer.
+func (h *Hop) SetRate(bps float64) { h.rateBps = bps }
+
+// Rate returns the configured serving rate (before fault scaling).
+func (h *Hop) Rate() float64 { return h.rateBps }
 
 // QueuedBytes returns the current backlog.
 func (h *Hop) QueuedBytes() int { return h.queuedBytes }
@@ -151,7 +190,7 @@ func (h *Hop) Receive(p *Packet) {
 		return
 	}
 	h.inDrop = false
-	h.queue = append(h.queue, p)
+	h.queue.push(p)
 	h.queuedBytes += p.Wire
 	if h.queuedBytes > h.MaxQueued {
 		h.MaxQueued = h.queuedBytes
@@ -163,35 +202,38 @@ func (h *Hop) Receive(p *Packet) {
 	}
 }
 
-// serve transmits the head-of-line packet.
+// serve starts transmitting the head-of-line packet.
 func (h *Hop) serve() {
-	if len(h.queue) == 0 {
+	if h.queue.len() == 0 {
 		h.busy = false
 		return
 	}
 	h.busy = true
-	p := h.queue[0]
-	h.queue = h.queue[1:]
-	h.queuedBytes -= p.Wire
-	rate := h.rateBps()
+	rate := h.rateBps
 	if h.rateScale > 0 {
 		rate *= h.rateScale
 	}
 	if rate <= 0 {
 		// Link stalled (e.g. hand-off outage): retry shortly. The packet
-		// stays at the head conceptually; re-queue it in front.
-		h.queue = append([]*Packet{p}, h.queue...)
-		h.queuedBytes += p.Wire
-		h.sch.After(time.Millisecond, h.serve)
+		// stays queued at the head.
+		h.sch.After(time.Millisecond, h.serveFn)
 		return
 	}
+	p := h.queue.pop()
+	h.queuedBytes -= p.Wire
+	h.inflight = p
 	txTime := time.Duration(float64(p.Wire*8) / rate * float64(time.Second))
-	h.sch.After(txTime, func() {
-		h.Forwarded++
-		h.cFwd.Inc()
-		h.cBytes.Add(int64(p.Wire))
-		target := h.next
-		h.sch.After(h.prop+h.extraProp, func() { target.Receive(p) })
-		h.serve()
-	})
+	h.sch.After(txTime, h.txDoneFn)
+}
+
+// txDone fires when the serializer finishes the in-flight packet: hand
+// it to the propagation stage and start on the next one.
+func (h *Hop) txDone() {
+	p := h.inflight
+	h.inflight = nil
+	h.Forwarded++
+	h.cFwd.Inc()
+	h.cBytes.Add(int64(p.Wire))
+	h.sch.AfterArg(h.prop+h.extraProp, h.deliverFn, p)
+	h.serve()
 }

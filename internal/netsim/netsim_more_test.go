@@ -64,7 +64,7 @@ func TestUplinkCarriesAckLoad(t *testing.T) {
 func TestLockoutRecoversAfterDrain(t *testing.T) {
 	sch := des.New()
 	sink := &Sink{}
-	hop := NewHop(sch, "h", func() float64 { return 8e6 }, 0, 10_000, sink) // 1 kB/ms drain
+	hop := NewHop(sch, "h", 8e6, 0, 10_000, sink) // 1 kB/ms drain
 	// Overflow the queue.
 	for i := 0; i < 20; i++ {
 		hop.Receive(&Packet{Wire: 1000})

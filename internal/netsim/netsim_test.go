@@ -13,7 +13,7 @@ func TestHopForwardsInOrder(t *testing.T) {
 	sch := des.New()
 	var got []int64
 	sink := ReceiverFunc(func(p *Packet) { got = append(got, p.Seq) })
-	hop := NewHop(sch, "h", func() float64 { return 1e6 }, time.Millisecond, 1<<20, sink)
+	hop := NewHop(sch, "h", 1e6, time.Millisecond, 1<<20, sink)
 	for i := int64(0); i < 10; i++ {
 		hop.Receive(&Packet{Seq: i, Wire: 1000})
 	}
@@ -35,7 +35,7 @@ func TestHopForwardsInOrder(t *testing.T) {
 func TestHopDropTail(t *testing.T) {
 	sch := des.New()
 	sink := &Sink{}
-	hop := NewHop(sch, "h", func() float64 { return 1e3 }, 0, 2500, sink)
+	hop := NewHop(sch, "h", 1e3, 0, 2500, sink)
 	for i := 0; i < 10; i++ {
 		hop.Receive(&Packet{Seq: int64(i), Wire: 1000})
 	}
@@ -51,7 +51,7 @@ func TestRANHopInOrderDespiteHARQ(t *testing.T) {
 	sch := des.New()
 	var got []int64
 	sink := ReceiverFunc(func(p *Packet) { got = append(got, p.Seq) })
-	ran := NewRANHop(sch, radio.NR, func() float64 { return 100e6 }, time.Millisecond, 1<<24,
+	ran := NewRANHop(sch, radio.NR, 100e6, time.Millisecond, 1<<24,
 		rng.New(1).Stream("h"), sink)
 	for i := int64(0); i < 5000; i++ {
 		ran.Receive(&Packet{Seq: i, Wire: 1460})
@@ -74,7 +74,7 @@ func TestRANOutageBuffersThenDrains(t *testing.T) {
 	sch := des.New()
 	delivered := 0
 	sink := ReceiverFunc(func(p *Packet) { delivered++ })
-	ran := NewRANHop(sch, radio.NR, func() float64 { return 100e6 }, 0, 1<<22,
+	ran := NewRANHop(sch, radio.NR, 100e6, 0, 1<<22,
 		rng.New(1).Stream("h"), sink)
 	ran.SetOutage(100 * time.Millisecond)
 	for i := int64(0); i < 100; i++ {

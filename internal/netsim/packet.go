@@ -33,6 +33,9 @@ type Packet struct {
 	Background bool
 	// Retransmit marks retransmitted data (diagnostics).
 	Retransmit bool
+	// pooled marks packets checked out of a PacketPool; only these are
+	// recycled on delivery/drop (see PacketPool's ownership rule).
+	pooled bool
 }
 
 // HeaderBytes is the IP+TCP/UDP header overhead per packet.

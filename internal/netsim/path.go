@@ -129,6 +129,11 @@ type Path struct {
 	RAN        *RANHop
 	UplinkRAN  *Hop
 	CrossSink  *Sink
+
+	// Pool recycles the packets the path generates itself (UDP load and
+	// cross traffic); see PacketPool for the ownership rule. Transport
+	// engines keep allocating their own packets — Release ignores them.
+	Pool *PacketPool
 }
 
 // NewPath wires up the downlink chain
@@ -137,7 +142,7 @@ type Path struct {
 //
 // and the uplink chain UE → UL-RAN → core+wired → server.
 func NewPath(sch *des.Scheduler, cfg PathConfig) *Path {
-	p := &Path{Sch: sch, Cfg: cfg}
+	p := &Path{Sch: sch, Cfg: cfg, Pool: NewPacketPool()}
 	src := rng.New(cfg.Seed)
 
 	if cfg.Obs != nil || cfg.Trace != nil {
@@ -146,46 +151,55 @@ func NewPath(sch *des.Scheduler, cfg PathConfig) *Path {
 	}
 	flowBytes := newFlowCounters(cfg.Obs)
 
-	// Downlink, built back to front.
+	// Downlink, built back to front. The endpoint wrappers are where
+	// pool-owned packets finish their life: released after the consumer
+	// callback returns (consumers copy what they need synchronously).
 	ueDeliver := ReceiverFunc(func(pkt *Packet) {
 		flowBytes.add(pkt)
 		if p.ToUE != nil {
 			p.ToUE.Receive(pkt)
 		}
+		p.Pool.Release(pkt)
 	})
-	ranRate := cfg.RANRateBps
-	p.RAN = NewRANHop(sch, cfg.Tech, func() float64 { return ranRate },
+	p.RAN = NewRANHop(sch, cfg.Tech, cfg.RANRateBps,
 		cfg.RANOneWay, cfg.RANBufferBytes, src.Stream("ran.harq"), ueDeliver)
 
-	core := NewHop(sch, "core", func() float64 { return 10e9 }, cfg.CoreOneWay, 64_000_000, p.RAN)
+	core := NewHop(sch, "core", 10e9, cfg.CoreOneWay, 64_000_000, p.RAN)
 
 	p.CrossSink = &Sink{}
 	demux := ReceiverFunc(func(pkt *Packet) {
 		if pkt.Background {
 			p.CrossSink.Receive(pkt)
+			p.Pool.Release(pkt)
 			return
 		}
 		core.Receive(pkt)
 	})
-	p.Bottleneck = NewHop(sch, "bottleneck", func() float64 { return cfg.BottleneckBps },
+	p.Bottleneck = NewHop(sch, "bottleneck", cfg.BottleneckBps,
 		cfg.BottleneckOneWay, cfg.BottleneckBufferBytes, demux)
 
-	serverWired := NewHop(sch, "server-wired", func() float64 { return 10e9 }, cfg.ServerOneWay, 64_000_000, p.Bottleneck)
+	serverWired := NewHop(sch, "server-wired", 10e9, cfg.ServerOneWay, 64_000_000, p.Bottleneck)
 	p.ServerIngress = serverWired
 
-	StartCross(sch, cfg.Cross, src.Stream("cross"), p.Bottleneck)
+	StartCross(sch, cfg.Cross, src.Stream("cross"), p.Pool, p.Bottleneck)
 
 	// Uplink.
 	serverDeliver := ReceiverFunc(func(pkt *Packet) {
 		if p.ToServer != nil {
 			p.ToServer.Receive(pkt)
 		}
+		p.Pool.Release(pkt)
 	})
-	ulWired := NewHop(sch, "ul-wired", func() float64 { return 10e9 },
+	ulWired := NewHop(sch, "ul-wired", 10e9,
 		cfg.CoreOneWay+cfg.BottleneckOneWay+cfg.ServerOneWay, 64_000_000, serverDeliver)
-	p.UplinkRAN = NewHop(sch, "ul-ran", func() float64 { return cfg.ULRateBps },
+	p.UplinkRAN = NewHop(sch, "ul-ran", cfg.ULRateBps,
 		cfg.RANOneWay, 2_000_000, ulWired)
 	p.UEIngress = p.UplinkRAN
+
+	for _, h := range []*Hop{core, p.Bottleneck, serverWired, ulWired, p.UplinkRAN} {
+		h.SetPool(p.Pool)
+	}
+	p.RAN.SetPool(p.Pool)
 
 	if cfg.Obs != nil || cfg.Trace != nil {
 		p.RAN.SetObs(cfg.Obs, cfg.Trace)
@@ -237,12 +251,8 @@ func (fc *flowCounters) add(p *Packet) {
 // SetRANRate changes the downlink radio goodput (e.g. PRB contention or a
 // weaker MCS after movement).
 func (p *Path) SetRANRate(bps float64) {
-	cfg := p.Cfg
-	cfg.RANRateBps = bps
-	p.Cfg = cfg
-	// The RAN hop reads through a closure; rebuild it to point at the new
-	// value by swapping the rate function.
-	p.RAN.rateBps = func() float64 { return bps }
+	p.Cfg.RANRateBps = bps
+	p.RAN.SetRate(bps)
 }
 
 // Outage interrupts the radio in both directions for d (hand-off).

@@ -14,11 +14,15 @@ import (
 // the air never surface to the transport layer ("we can safely conclude
 // that the packet loss bottleneck is not on the 5G wireless link", §4.2) —
 // but retransmissions consume airtime and add jitter.
+//
+// Like Hop, the per-packet path is allocation-free in steady state: ring
+// buffer queue, a single serializer slot (plus the HARQ outcome drawn for
+// it), and callbacks bound once at construction.
 type RANHop struct {
 	Name string
 
 	sch      *des.Scheduler
-	rateBps  func() float64
+	rateBps  float64
 	prop     time.Duration
 	limit    int
 	next     Receiver
@@ -27,12 +31,26 @@ type RANHop struct {
 	airScale float64
 	rng      *rand.Rand
 
-	queue         []*Packet
+	queue         pktRing
 	queuedBytes   int
 	busy          bool
 	outageUntil   time.Duration
 	lastDeliverAt time.Duration
 	rateScale     float64 // fault-injection degradation; 0 means no scaling
+
+	// Serializer state for the in-flight block: the packet, its HARQ
+	// outcome, and the retransmission latency it accrued. One block at a
+	// time, so plain fields replace the per-packet closure.
+	inflight      *Packet
+	inflightLost  bool
+	inflightExtra time.Duration
+	serveFn       func()
+	txDoneFn      func()
+	deliverFn     func(any)
+
+	// pool, when set, recycles pool-owned packets terminated here
+	// (buffer drops, HARQ residual loss).
+	pool *PacketPool
 
 	// Stats.
 	Forwarded    int64
@@ -42,13 +60,14 @@ type RANHop struct {
 	ResidualLoss int64
 
 	// Telemetry handles (nil = off), resolved once by SetObs.
-	cEnq   *obs.Counter
-	cDrop  *obs.Counter
-	cFwd   *obs.Counter
-	cBytes *obs.Counter
-	cRetx  *obs.Counter
-	occ    *obs.Histogram
-	trace  *obs.Tracer
+	cEnq      *obs.Counter
+	cDrop     *obs.Counter
+	cFwd      *obs.Counter
+	cBytes    *obs.Counter
+	cRetx     *obs.Counter
+	occ       *obs.Histogram
+	trace     *obs.Tracer
+	dropLabel string
 }
 
 // SetObs attaches `netsim.*{hop=Name}` instruments, plus a HARQ
@@ -67,16 +86,20 @@ func (h *RANHop) SetObs(reg *obs.Registry, tr *obs.Tracer) {
 	h.trace = tr
 }
 
+// SetPool attaches the pool used to recycle pool-owned packets the hop
+// terminates.
+func (h *RANHop) SetPool(pl *PacketPool) { h.pool = pl }
+
 // NewRANHop builds the radio hop for a technology. rateBps is the
 // foreground goodput of the air interface (PRB share and MCS already
-// applied).
-func NewRANHop(sch *des.Scheduler, tech radio.Tech, rateBps func() float64, prop time.Duration, limitBytes int, rng *rand.Rand, next Receiver) *RANHop {
+// applied); use SetRate for time-varying goodput.
+func NewRANHop(sch *des.Scheduler, tech radio.Tech, rateBps float64, prop time.Duration, limitBytes int, rng *rand.Rand, next Receiver) *RANHop {
 	harqRTT := 8 * time.Millisecond // LTE HARQ round trip
 	if tech == radio.NR {
 		harqRTT = 2500 * time.Microsecond // NR slot-level feedback
 	}
 	harq := radio.HARQFor(tech)
-	return &RANHop{
+	h := &RANHop{
 		Name: tech.String() + "-RAN", sch: sch,
 		rateBps: rateBps,
 		prop:    prop,
@@ -86,7 +109,19 @@ func NewRANHop(sch *des.Scheduler, tech radio.Tech, rateBps func() float64, prop
 		airScale: harq.MeanAttempts(),
 		rng:      rng,
 	}
+	h.dropLabel = "drop " + h.Name
+	h.serveFn = h.serve
+	h.txDoneFn = h.txDone
+	h.deliverFn = func(a any) { h.next.Receive(a.(*Packet)) }
+	return h
 }
+
+// SetRate changes the foreground goodput of the air interface. It takes
+// effect for the next block entering the serializer.
+func (h *RANHop) SetRate(bps float64) { h.rateBps = bps }
+
+// Rate returns the configured goodput (before fault scaling).
+func (h *RANHop) Rate() float64 { return h.rateBps }
 
 // QueuedBytes returns the current backlog.
 func (h *RANHop) QueuedBytes() int { return h.queuedBytes }
@@ -116,10 +151,11 @@ func (h *RANHop) Receive(p *Packet) {
 	if h.queuedBytes+p.Wire > h.limit {
 		h.Dropped++
 		h.cDrop.Inc()
-		h.trace.Instant("drop "+h.Name, "netsim", h.sch.Now())
+		h.trace.Instant(h.dropLabel, "netsim", h.sch.Now())
+		h.pool.Release(p)
 		return
 	}
-	h.queue = append(h.queue, p)
+	h.queue.push(p)
 	h.queuedBytes += p.Wire
 	if h.queuedBytes > h.MaxQueued {
 		h.MaxQueued = h.queuedBytes
@@ -132,28 +168,26 @@ func (h *RANHop) Receive(p *Packet) {
 }
 
 func (h *RANHop) serve() {
-	if len(h.queue) == 0 {
+	if h.queue.len() == 0 {
 		h.busy = false
 		return
 	}
 	h.busy = true
 	if now := h.sch.Now(); now < h.outageUntil {
-		h.sch.After(h.outageUntil-now, h.serve)
+		h.sch.After(h.outageUntil-now, h.serveFn)
 		return
 	}
-	p := h.queue[0]
-	h.queue = h.queue[1:]
-	h.queuedBytes -= p.Wire
-	rate := h.rateBps() * h.airScale
+	rate := h.rateBps * h.airScale
 	if h.rateScale > 0 {
 		rate *= h.rateScale
 	}
 	if rate <= 0 {
-		h.queue = append([]*Packet{p}, h.queue...)
-		h.queuedBytes += p.Wire
-		h.sch.After(time.Millisecond, h.serve)
+		// Link stalled: retry shortly, head-of-line packet stays queued.
+		h.sch.After(time.Millisecond, h.serveFn)
 		return
 	}
+	p := h.queue.pop()
+	h.queuedBytes -= p.Wire
 	attempts, lost := h.harq.Attempts(h.rng.Float64())
 	idx := attempts
 	if idx >= len(h.AttemptsHist) {
@@ -168,27 +202,33 @@ func (h *RANHop) serve() {
 	// only for the airtime while the HARQ round trips show up as extra
 	// per-packet latency (and mild reordering), not lost capacity.
 	txTime := time.Duration(float64(p.Wire*8*attempts) / rate * float64(time.Second))
-	extraLatency := time.Duration(attempts-1) * h.harqRTT
-	h.sch.After(txTime, func() {
-		if lost {
-			h.ResidualLoss++ // probability ≈ 10⁻⁵⁶; tracked for completeness
-		} else {
-			h.Forwarded++
-			h.cFwd.Inc()
-			h.cBytes.Add(int64(p.Wire))
-			target := h.next
-			// RLC in-order delivery: a block held up by HARQ round trips
-			// also holds back its successors (head-of-line jitter), so
-			// the transport layer never sees radio-induced reordering.
-			deliverAt := h.sch.Now() + h.prop + extraLatency
-			if deliverAt < h.lastDeliverAt {
-				deliverAt = h.lastDeliverAt
-			}
-			h.lastDeliverAt = deliverAt
-			h.sch.At(deliverAt, func() { target.Receive(p) })
+	h.inflight = p
+	h.inflightLost = lost
+	h.inflightExtra = time.Duration(attempts-1) * h.harqRTT
+	h.sch.After(txTime, h.txDoneFn)
+}
+
+func (h *RANHop) txDone() {
+	p, lost, extraLatency := h.inflight, h.inflightLost, h.inflightExtra
+	h.inflight = nil
+	if lost {
+		h.ResidualLoss++ // probability ≈ 10⁻⁵⁶; tracked for completeness
+		h.pool.Release(p)
+	} else {
+		h.Forwarded++
+		h.cFwd.Inc()
+		h.cBytes.Add(int64(p.Wire))
+		// RLC in-order delivery: a block held up by HARQ round trips
+		// also holds back its successors (head-of-line jitter), so
+		// the transport layer never sees radio-induced reordering.
+		deliverAt := h.sch.Now() + h.prop + extraLatency
+		if deliverAt < h.lastDeliverAt {
+			deliverAt = h.lastDeliverAt
 		}
-		h.serve()
-	})
+		h.lastDeliverAt = deliverAt
+		h.sch.AtArg(deliverAt, h.deliverFn, p)
+	}
+	h.serve()
 }
 
 // Retransmissions returns the HARQ attempts histogram normalized over

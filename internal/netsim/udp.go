@@ -57,9 +57,9 @@ func RunUDP(cfg PathConfig, offeredBps float64, duration time.Duration, trace bo
 		if sch.Now() >= duration {
 			return
 		}
-		path.ServerIngress.Receive(&Packet{
-			FlowID: 1, Seq: seq, Len: MSS, Wire: MSS + HeaderBytes, SentAt: sch.Now(),
-		})
+		p := path.Pool.Get()
+		p.FlowID, p.Seq, p.Len, p.Wire, p.SentAt = 1, seq, MSS, MSS+HeaderBytes, sch.Now()
+		path.ServerIngress.Receive(p)
 		seq++
 		res.Sent++
 		sch.After(interval, tick)

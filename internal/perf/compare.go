@@ -1,0 +1,69 @@
+package perf
+
+import "fmt"
+
+// Comparison is the verdict of holding a current report against a
+// baseline: hard Failures (CI exits nonzero) and advisory Warnings.
+type Comparison struct {
+	Failures []string
+	Warnings []string
+}
+
+// Compare gates current against baseline.
+//
+// Two kinds of regression are distinguished:
+//
+//   - allocs/op is a property of the code, not the machine, so any
+//     increase over the baseline is a hard failure on every host.
+//   - ns/op is machine-dependent, so the threshold gate (fractional
+//     increase over baseline, e.g. 0.15 = +15 %) applies only when the
+//     two hosts are comparable; across different hosts a slowdown is
+//     reported as a warning instead.
+//
+// Benchmarks present in only one report are warnings: a renamed or
+// newly added benchmark must not silently disable the gate.
+func Compare(baseline, current Report, threshold float64) Comparison {
+	var c Comparison
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	hostMatch := baseline.Host.Comparable(current.Host)
+	if !hostMatch {
+		c.Warnings = append(c.Warnings, fmt.Sprintf(
+			"hosts differ (baseline %s/%s %q, current %s/%s %q): ns/op gate is advisory",
+			baseline.Host.GOOS, baseline.Host.GOARCH, baseline.Host.CPU,
+			current.Host.GOOS, current.Host.GOARCH, current.Host.CPU))
+	}
+	seen := make(map[string]bool, len(current.Benchmarks))
+	for _, cur := range current.Benchmarks {
+		seen[cur.Name] = true
+		b, ok := base[cur.Name]
+		if !ok {
+			c.Warnings = append(c.Warnings, fmt.Sprintf("%s: not in baseline, skipped", cur.Name))
+			continue
+		}
+		if cur.AllocsPerOp > b.AllocsPerOp {
+			c.Failures = append(c.Failures, fmt.Sprintf(
+				"%s: allocs/op regressed %d -> %d", cur.Name, b.AllocsPerOp, cur.AllocsPerOp))
+		}
+		if b.NsPerOp > 0 {
+			ratio := float64(cur.NsPerOp)/float64(b.NsPerOp) - 1
+			if ratio > threshold {
+				msg := fmt.Sprintf("%s: ns/op regressed %d -> %d (%+.1f%%, threshold %.0f%%)",
+					cur.Name, b.NsPerOp, cur.NsPerOp, 100*ratio, 100*threshold)
+				if hostMatch {
+					c.Failures = append(c.Failures, msg)
+				} else {
+					c.Warnings = append(c.Warnings, msg)
+				}
+			}
+		}
+	}
+	for _, b := range baseline.Benchmarks {
+		if !seen[b.Name] {
+			c.Warnings = append(c.Warnings, fmt.Sprintf("%s: in baseline but not measured", b.Name))
+		}
+	}
+	return c
+}

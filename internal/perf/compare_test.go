@@ -1,0 +1,96 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(host Host, ns, allocs int64) Report {
+	return Report{
+		Schema: 1,
+		Host:   host,
+		Benchmarks: []Result{
+			{Name: "DESStep", N: 1000, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: 0},
+		},
+	}
+}
+
+func TestCompareAllocRegressionFailsEverywhere(t *testing.T) {
+	a := Host{GOOS: "linux", GOARCH: "amd64", CPU: "x"}
+	b := Host{GOOS: "darwin", GOARCH: "arm64", CPU: "y"}
+	c := Compare(report(a, 100, 0), report(b, 100, 3), 0.15)
+	if len(c.Failures) != 1 || !strings.Contains(c.Failures[0], "allocs/op") {
+		t.Fatalf("want one allocs failure across hosts, got %+v", c)
+	}
+}
+
+func TestCompareNsGateOnlyOnMatchingHost(t *testing.T) {
+	h := Host{GOOS: "linux", GOARCH: "amd64", CPU: "x", NumCPU: 8}
+	if c := Compare(report(h, 100, 0), report(h, 130, 0), 0.15); len(c.Failures) != 1 {
+		t.Fatalf("same host +30%% should fail, got %+v", c)
+	}
+	if c := Compare(report(h, 100, 0), report(h, 110, 0), 0.15); len(c.Failures) != 0 {
+		t.Fatalf("same host +10%% under 15%% threshold should pass, got %+v", c)
+	}
+	other := Host{GOOS: "linux", GOARCH: "arm64", CPU: "z", NumCPU: 4}
+	c := Compare(report(h, 100, 0), report(other, 200, 0), 0.15)
+	if len(c.Failures) != 0 {
+		t.Fatalf("cross-host ns regression must be advisory, got failures %+v", c.Failures)
+	}
+	if len(c.Warnings) < 2 { // host note + the advisory slowdown
+		t.Fatalf("want advisory warnings, got %+v", c.Warnings)
+	}
+}
+
+func TestCompareMissingBenchmarksWarn(t *testing.T) {
+	h := Host{GOOS: "linux", GOARCH: "amd64"}
+	baseline := report(h, 100, 0)
+	current := Report{Schema: 1, Host: h, Benchmarks: []Result{
+		{Name: "Survey", NsPerOp: 50},
+	}}
+	c := Compare(baseline, current, 0.15)
+	if len(c.Failures) != 0 || len(c.Warnings) != 2 {
+		t.Fatalf("want two warnings (one unmatched each way), got %+v", c)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	orig := Report{Schema: 1, Host: CurrentHost(), Benchmarks: []Result{
+		{Name: "DESStep", N: 5, NsPerOp: 42, AllocsPerOp: 1, BytesPerOp: 64},
+	}}
+	if err := orig.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != orig.Schema || got.Host != orig.Host || len(got.Benchmarks) != 1 || got.Benchmarks[0] != orig.Benchmarks[0] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, orig)
+	}
+}
+
+// The quick benchmark set must at least be well-formed: every spec named,
+// distinct, and the quick subset non-empty (the CI smoke step depends on
+// it).
+func TestSpecsWellFormed(t *testing.T) {
+	names := map[string]bool{}
+	quick := 0
+	for _, sp := range Specs() {
+		if sp.Name == "" || sp.Fn == nil {
+			t.Fatalf("malformed spec %+v", sp)
+		}
+		if names[sp.Name] {
+			t.Fatalf("duplicate spec %q", sp.Name)
+		}
+		names[sp.Name] = true
+		if sp.Quick {
+			quick++
+		}
+	}
+	if quick == 0 {
+		t.Fatal("no quick benchmarks: CI smoke would be empty")
+	}
+}

@@ -1,0 +1,132 @@
+// Package perf is the benchmark-regression harness behind `fgperf bench`:
+// a fixed set of named hot-path benchmarks run through testing.Benchmark,
+// serialized to JSON with enough host metadata to decide whether two
+// reports are comparable, and a comparator that gates CI on allocation
+// and wall-clock regressions (see compare.go).
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"fivegsim"
+	"fivegsim/internal/coverage"
+	"fivegsim/internal/deploy"
+	"fivegsim/internal/des"
+	"fivegsim/internal/netsim"
+	"fivegsim/internal/radio"
+)
+
+// Spec is one named benchmark. Quick marks the cheap benchmarks included
+// in `fgperf bench -quick` (the CI smoke set); the full set adds the
+// campaign-scale runs, which take minutes.
+type Spec struct {
+	Name  string
+	Quick bool
+	Fn    func(b *testing.B)
+}
+
+// Specs returns the benchmark set, in report order.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "DESStep", Quick: true, Fn: benchDESStep},
+		{Name: "PathSaturate", Quick: true, Fn: benchPathSaturate},
+		{Name: "Survey", Quick: true, Fn: benchSurvey},
+		{Name: "RunAllWorkers1", Fn: func(b *testing.B) { benchRunAll(b, 1) }},
+		{Name: "RunAllWorkers8", Fn: func(b *testing.B) { benchRunAll(b, 8) }},
+	}
+}
+
+// benchDESStep measures one scheduler step of a self-perpetuating event
+// chain with a standing population of pending timers: every fired event
+// reschedules itself and one in four cancels a previously armed timer.
+// This is the same load shape as the root package's scheduler bench.
+func benchDESStep(b *testing.B) {
+	b.ReportAllocs()
+	s := des.New()
+	const fanout = 32
+	fired := 0
+	var timers [fanout]des.Timer
+	var tick func()
+	tick = func() {
+		fired++
+		if fired >= b.N {
+			return
+		}
+		i := fired % fanout
+		if fired%4 == 0 {
+			timers[i].Cancel()
+		}
+		timers[i] = s.After(time.Duration(fanout+i)*time.Microsecond, func() {})
+		s.After(time.Microsecond, tick)
+	}
+	s.After(0, tick)
+	b.ResetTimer()
+	s.Run()
+}
+
+// benchPathSaturate measures a saturating UDP run over the daytime 5G
+// path — the packet hot path end to end: pool checkout, four wired hops,
+// cross traffic, HARQ, delivery, release. One op is a 100 ms slice of
+// simulated time at 1.08× the radio goodput.
+func benchPathSaturate(b *testing.B) {
+	b.ReportAllocs()
+	cfg := netsim.DefaultPath(radio.NR, true)
+	for i := 0; i < b.N; i++ {
+		res := netsim.RunUDP(cfg, cfg.RANRateBps*1.08, 100*time.Millisecond, false)
+		if res.Received == 0 {
+			b.Fatal("no packets delivered")
+		}
+	}
+}
+
+// benchSurvey measures the coverage walk: one op is a fresh campus plus a
+// 512-sample road survey, so it covers both the lazy field-map build and
+// the warm BestServer fast path.
+func benchSurvey(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := deploy.New(1)
+		s := coverage.Run(c, 512, 1)
+		if len(s.Samples) != 512 {
+			b.Fatal("short survey")
+		}
+	}
+}
+
+// benchRunAll measures the full quick campaign — every experiment of the
+// paper — on the given worker count. One op takes minutes; the harness
+// runs it once.
+func benchRunAll(b *testing.B, workers int) {
+	b.ReportAllocs()
+	cfg := fivegsim.QuickConfig()
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if res := fivegsim.RunAll(cfg); len(res) == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}
+
+// Run executes the selected benchmarks (all, or the Quick subset) and
+// returns their results in Specs order.
+func Run(quick bool, progress func(name string)) []Result {
+	var out []Result
+	for _, sp := range Specs() {
+		if quick && !sp.Quick {
+			continue
+		}
+		if progress != nil {
+			progress(sp.Name)
+		}
+		r := testing.Benchmark(sp.Fn)
+		out = append(out, Result{
+			Name:        sp.Name,
+			N:           r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
+}

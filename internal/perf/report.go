@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+// Host identifies the machine a report was produced on. Wall-clock
+// numbers are only comparable between matching hosts; allocation counts
+// are comparable everywhere.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// Report is the on-disk format of a bench run (BENCH_5.json).
+type Report struct {
+	Schema     int      `json:"schema"`
+	Host       Host     `json:"host"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// CurrentHost describes the running machine.
+func CurrentHost() Host {
+	return Host{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPU:       cpuModel(),
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// cpuModel best-effort reads the CPU model name (Linux); elsewhere the
+// GOARCH already in Host is all we have.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// Comparable reports whether wall-clock numbers from the two hosts can be
+// held against each other.
+func (h Host) Comparable(other Host) bool {
+	return h.GOOS == other.GOOS && h.GOARCH == other.GOARCH &&
+		h.CPU == other.CPU && h.NumCPU == other.NumCPU
+}
+
+// WriteFile serializes the report, stable and human-diffable.
+func (r Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteFile.
+func ReadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

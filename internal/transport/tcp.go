@@ -54,7 +54,7 @@ type Conn struct {
 	sacked       intervalSet // SACK scoreboard above una
 
 	srtt, rttvar, rto time.Duration
-	rtoTimer          *des.Timer
+	rtoTimer          des.Timer
 	walkRestartAt     time.Duration
 	repairProgressAt  time.Duration
 
@@ -350,9 +350,7 @@ func (c *Conn) onAck(p *netsim.Packet) {
 		if !c.fired && c.una >= c.limit {
 			c.fired = true
 			c.doneAt = now
-			if c.rtoTimer != nil {
-				c.rtoTimer.Cancel()
-			}
+			c.rtoTimer.Cancel()
 			if c.Done != nil {
 				c.Done(now)
 			}
@@ -407,9 +405,7 @@ func (c *Conn) updateRTT(sample time.Duration) {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
 	if c.una >= c.limit {
 		return
 	}

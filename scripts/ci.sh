@@ -24,4 +24,18 @@ go test -race -short ./...
 echo "== fault determinism short suite =="
 go test -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/fault/ ./internal/par/ .
 
+echo "== bench smoke (quick hot-path benches vs checked-in baseline) =="
+go run ./cmd/fgperf bench -quick -out /tmp/fgperf_current.json -compare BENCH_5.json -threshold 0.15
+
+echo "== bench gate self-check (must trip on a synthetic regression) =="
+# Doctor a baseline from the run above: same host fingerprint, but every
+# ns/op forced to 1, so the current numbers look like a massive slowdown.
+# The comparator must exit nonzero, proving the regression path works.
+sed 's/"ns_per_op": [0-9]*/"ns_per_op": 1/' /tmp/fgperf_current.json > /tmp/fgperf_doctored.json
+if go run ./cmd/fgperf bench -quick -compare /tmp/fgperf_doctored.json -threshold 0.15 >/dev/null 2>&1; then
+	echo "bench gate FAILED to catch a synthetic regression" >&2
+	exit 1
+fi
+echo "bench gate trips correctly"
+
 echo "ci: all green"

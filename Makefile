@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race faults bench bench-smoke ci
+.PHONY: build test race faults pop bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,18 +25,24 @@ race-full:
 faults:
 	$(GO) test -race -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/fault/ ./internal/par/ .
 
+# Population-layer suite under the race detector: PRB-scheduler property
+# tests, Workers-equivalence determinism, the N=1 probe regression and
+# the zero-alloc tick guards.
+pop:
+	$(GO) test -race -short ./internal/pop/ ./internal/traffic/ ./internal/deploy/
+
 # Scheduler/telemetry overhead benches plus the per-figure benches, then
 # the fgperf harness regenerating the checked-in regression baseline
-# (BENCH_5.json; includes the campaign-scale benches, so this is slow).
+# (BENCH_6.json; includes the campaign-scale benches, so this is slow).
 bench:
 	$(GO) test -run xxx -bench=BenchmarkSchedulerObs -benchtime=2s .
 	$(GO) test -run xxx -bench=. -benchmem .
-	$(GO) run ./cmd/fgperf bench -out BENCH_5.json
+	$(GO) run ./cmd/fgperf bench -out BENCH_6.json
 
 # The quick fgperf subset gated against the checked-in baseline — the
 # same check CI's bench-smoke step runs.
 bench-smoke:
-	$(GO) run ./cmd/fgperf bench -quick -compare BENCH_5.json
+	$(GO) run ./cmd/fgperf bench -quick -compare BENCH_6.json
 
 # Serial vs parallel wall-clock of the full quick campaign.
 bench-workers:

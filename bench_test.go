@@ -183,3 +183,9 @@ func BenchmarkExtension_DSL(b *testing.B) {
 func BenchmarkExtension_RRCInactive(b *testing.B) {
 	benchExperiment(b, "X6", "rrciJ")
 }
+
+// BenchmarkExtension_PopulationLoad runs the population-scale cell-load
+// experiment (quick: 2000 PPP UEs × 25 scheduling ticks).
+func BenchmarkExtension_PopulationLoad(b *testing.B) {
+	benchExperiment(b, "X12", "jain")
+}

@@ -45,6 +45,7 @@ func main() {
 	manifestPath := flag.String("manifest", "", "write the run manifests (JSON array) to this file")
 	profile := flag.Bool("profile", false, "measure per-event callback wall time (adds overhead)")
 	faults := flag.String("faults", "", "arm a fault-scenario preset on every run ('list' to enumerate)")
+	population := flag.Int("population", 0, "override the population-experiment UE count (X12–X14; 0 = built-in sizing)")
 	flag.Parse()
 
 	if *list {
@@ -76,7 +77,8 @@ func main() {
 		}
 	}
 
-	cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Trace: tracer, Profile: *profile}
+	cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Trace: tracer, Profile: *profile,
+		Population: *population}
 	if *faults != "" {
 		s, err := fault.ScenarioByName(*faults)
 		if err != nil {

@@ -1,0 +1,93 @@
+// Command fgpop runs a population-scale campus study: a PPP-placed UE
+// population over the deployed campus, contending for per-cell PRB
+// budgets under a web/video/bulk traffic mix, and prints the cell-load
+// and fairness reports.
+//
+//	fgpop -n 20000 -ticks 100
+//	fgpop -lambda 8000 -mix 0.6,0.3,0.1 -workers 8
+//	fgpop -n 1000 -speed 0 -ticks 50        # static PPP snapshot
+//
+// Reports are bit-identical for every -workers value (the internal/par
+// determinism contract; internal/pop's determinism suite enforces it).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"fivegsim/internal/deploy"
+	"fivegsim/internal/pop"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/traffic"
+)
+
+func main() {
+	n := flag.Int("n", 0, "population size (0 = draw from the PPP at -lambda)")
+	lambda := flag.Float64("lambda", 5000, "PPP intensity in UEs/km² (used when -n is 0)")
+	ticks := flag.Int("ticks", 50, "number of 100 ms scheduling ticks")
+	tickDur := flag.Duration("tick", 100*time.Millisecond, "scheduling tick duration")
+	seed := flag.Int64("seed", 42, "seed (fixes placement, traffic and mobility)")
+	workers := flag.Int("workers", 1, "worker goroutines (0 = GOMAXPROCS); results identical for every value")
+	mix := flag.String("mix", "", "traffic mix as web,video,bulk weights, e.g. 0.7,0.2,0.1")
+	speed := flag.Float64("speed", 5, "max walking speed in km/h (0 = static population)")
+	perCell := flag.Bool("cells", false, "print the per-cell load table")
+	flag.Parse()
+
+	m := pop.DefaultModel()
+	m.N = *n
+	m.LambdaPerKm2 = *lambda
+	m.Ticks = *ticks
+	m.TickDur = *tickDur
+	m.MaxSpeedKmh = *speed
+	if *mix != "" {
+		w, err := parseMix(*mix)
+		if err != nil {
+			log.Fatalf("fgpop: %v", err)
+		}
+		m.Mix = w
+	}
+
+	campus := deploy.New(*seed)
+	start := time.Now()
+	p := pop.Run(campus, m, *seed, *workers)
+	elapsed := time.Since(start)
+
+	fmt.Printf("population: %d UEs over %.2f km² (%d NR + %d LTE cells), %d ticks × %s in %v\n",
+		p.Len(), campus.AreaKm2(), len(campus.NRCells), len(campus.LTECells),
+		p.Ticks(), m.TickDur, elapsed.Round(time.Millisecond))
+	for _, t := range []radio.Tech{radio.NR, radio.LTE} {
+		u := p.UtilSamples(t, nil)
+		fmt.Printf("%-3s PRB utilization: mean %5.1f%%  p50 %5.1f%%  p90 %5.1f%%  p99 %5.1f%%\n",
+			t, 100*p.MeanUtil(t), 100*pop.Quantile(u, 0.50),
+			100*pop.Quantile(u, 0.90), 100*pop.Quantile(u, 0.99))
+	}
+	if *perCell {
+		for _, l := range p.CellLoadLines() {
+			fmt.Println(l)
+		}
+	}
+	for _, l := range p.FairnessLines() {
+		fmt.Println(l)
+	}
+}
+
+// parseMix parses "web,video,bulk" float weights.
+func parseMix(s string) (traffic.MixWeights, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return traffic.MixWeights{}, fmt.Errorf("mix %q: want three comma-separated weights", s)
+	}
+	var w [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			return traffic.MixWeights{}, fmt.Errorf("mix %q: bad weight %q", s, p)
+		}
+		w[i] = v
+	}
+	return traffic.MixWeights{Web: w[0], Video: w[1], Bulk: w[2]}, nil
+}

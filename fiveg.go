@@ -74,6 +74,14 @@ type Config struct {
 	// the exact pre-fault fast path, like Obs.
 	Faults *fault.Plan
 
+	// Population overrides the UE population size of the
+	// population-scale experiments (X12–X14): the number of UEs placed
+	// on the campus, or for the sweep experiments the largest sweep
+	// point. 0 (the default) keeps each experiment's built-in
+	// Quick/full sizing. The probe experiments (T/F series) always run
+	// one UE regardless — they are the paper's methodology.
+	Population int
+
 	// OnResult, when non-nil, is invoked once per completed experiment,
 	// in paper order, as results become available — progressive output
 	// for long campaigns. Calls are serialized (never concurrent) but

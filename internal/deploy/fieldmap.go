@@ -107,6 +107,24 @@ func (f *fieldMap) build(bx, by int) []*radio.Cell {
 	return out
 }
 
+// WarmFieldMaps builds every field-map bucket of both technologies up
+// front. Population ticks query BestServer for every UE, so pre-warming
+// turns the lazy per-bucket builds into a one-time cost and leaves the
+// steady-state tick allocation-free (the PopTick benches and the
+// internal/pop alloc guards rely on this).
+func (c *Campus) WarmFieldMaps() {
+	for _, f := range []*fieldMap{c.nrField, c.lteField} {
+		if f == nil {
+			continue
+		}
+		for by := 0; by < f.ny; by++ {
+			for bx := 0; bx < f.nx; bx++ {
+				f.candidates(geom.Point{X: (float64(bx) + 0.5) * fmBucketM, Y: (float64(by) + 0.5) * fmBucketM})
+			}
+		}
+	}
+}
+
 func (c *Campus) fieldFor(t radio.Tech) *fieldMap {
 	if t == radio.NR {
 		return c.nrField

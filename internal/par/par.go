@@ -95,6 +95,21 @@ func ShardSize(n, size int) []Range {
 	return out
 }
 
+// Segments builds shards from explicit segment boundaries: bounds holds
+// the cut points of len(bounds)-1 consecutive half-open ranges
+// ([bounds[0], bounds[1]), [bounds[1], bounds[2]), …), which must be
+// non-decreasing. Unlike Shard, the pieces are caller-shaped — e.g. the
+// per-cell UE groups a counting sort produces — and may be empty (an
+// empty segment keeps its Index so Range.Index can stay a stable group
+// id). The result is appended to out, so a caller that re-shards every
+// tick can pass out[:0] of a retained slice and stay allocation-free.
+func Segments(bounds []int, out []Range) []Range {
+	for i := 0; i+1 < len(bounds); i++ {
+		out = append(out, Range{Index: i, Lo: bounds[i], Hi: bounds[i+1]})
+	}
+	return out
+}
+
 // Do executes fn once per shard, at most workers concurrently, and
 // returns when every shard has finished. workers follows the Workers
 // convention (0 = GOMAXPROCS). With one worker — or one shard — fn runs

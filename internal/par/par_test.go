@@ -225,3 +225,34 @@ func TestMapCtxCancellation(t *testing.T) {
 		t.Fatalf("uncanceled MapCtx errored: %v", err)
 	}
 }
+
+func TestSegmentsFromBounds(t *testing.T) {
+	// Segments turns counting-sort cut points into ranges, keeping the
+	// bounds index as the stable group id and preserving empty segments.
+	segs := Segments([]int{0, 3, 3, 7}, nil)
+	want := []Range{{Index: 0, Lo: 0, Hi: 3}, {Index: 1, Lo: 3, Hi: 3}, {Index: 2, Lo: 3, Hi: 7}}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments, want %d", len(segs), len(want))
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+	if segs[1].Len() != 0 {
+		t.Fatal("empty segment must have zero length")
+	}
+
+	// Append-into-retained-slice reuse must not allocate or grow.
+	buf := make([]Range, 0, 8)
+	out := Segments([]int{0, 1, 2}, buf[:0])
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("Segments did not reuse the caller's backing array")
+	}
+	if got := Segments([]int{5}, nil); len(got) != 0 {
+		t.Fatalf("single bound must yield no segments, got %d", len(got))
+	}
+	if got := Segments(nil, nil); len(got) != 0 {
+		t.Fatalf("nil bounds must yield no segments, got %d", len(got))
+	}
+}

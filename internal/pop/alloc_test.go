@@ -1,0 +1,41 @@
+package pop
+
+import (
+	"testing"
+
+	"fivegsim/internal/deploy"
+)
+
+// Allocation guards for the tick hot path: after New (which pre-warms
+// the campus field maps and builds the whole arena), a tick must not
+// allocate — static or walking, web-heavy or saturating. PopTick100k in
+// internal/perf benches the same invariant at 100k UEs and the fgperf
+// -compare gate holds it across PRs; this test catches regressions at
+// unit-test speed.
+
+func allocsPerTick(t *testing.T, m Model) float64 {
+	t.Helper()
+	campus := deploy.New(42)
+	p := New(campus, m, 42)
+	p.Tick(1) // first tick settles any remaining lazy state
+	return testing.AllocsPerRun(10, func() {
+		p.Tick(1)
+	})
+}
+
+func TestTickZeroAllocStatic(t *testing.T) {
+	m := DefaultModel()
+	m.N = 3000
+	m.MaxSpeedKmh = 0
+	if got := allocsPerTick(t, m); got != 0 {
+		t.Fatalf("static tick allocates %.1f times, want 0", got)
+	}
+}
+
+func TestTickZeroAllocWalking(t *testing.T) {
+	m := DefaultModel()
+	m.N = 3000
+	if got := allocsPerTick(t, m); got != 0 {
+		t.Fatalf("walking tick allocates %.1f times, want 0", got)
+	}
+}

@@ -1,0 +1,447 @@
+// Package pop is the population layer: PPP-placed UE populations over
+// the deployed campus, contending for per-cell PRB budgets under a
+// per-UE traffic mix. It scales the paper's single walking probe into
+// the system regime — cell-load distributions, per-UE throughput
+// fairness and outage exposure as emergent properties of contention —
+// while keeping the probe experiments recoverable bit-for-bit as the
+// N=1 special case (see probe.go).
+//
+// UE state is structure-of-arrays in a preallocated arena: one tick of a
+// 100k-UE population is a batch loop over flat slices with zero per-UE
+// allocations (the PopTick100k bench and alloc_test.go guard this).
+// Ticks follow the internal/par determinism contract — per-shard
+// substreams reseeded from an rng.Key per (shard, tick), writes confined
+// to shard-owned slots — so every report is bit-identical for any
+// Workers value.
+package pop
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"fivegsim/internal/deploy"
+	"fivegsim/internal/geom"
+	"fivegsim/internal/par"
+	"fivegsim/internal/radio"
+	"fivegsim/internal/rng"
+	"fivegsim/internal/traffic"
+)
+
+// popShardSize is the number of UEs per RNG shard. Like the coverage
+// survey's shard size, it is a pure function of the population size —
+// never of the worker count — so the substream an individual UE draws
+// from is stable across Workers settings.
+const popShardSize = 1024
+
+// minWalkSpeedKmh floors the redrawn waypoint speed so a walker can
+// never draw 0 km/h and stall on a waypoint forever.
+const minWalkSpeedKmh = 0.3
+
+// Model parametrizes a population run.
+type Model struct {
+	// N fixes the population size. 0 draws it from the PPP: a Poisson
+	// count with mean LambdaPerKm2 × campus area.
+	N int
+	// LambdaPerKm2 is the PPP intensity used when N is 0.
+	LambdaPerKm2 float64
+	// Mix is the per-UE application mix (web/video/bulk weights); the
+	// zero value falls back to traffic.DefaultMix.
+	Mix traffic.MixWeights
+	// TickDur is the scheduling tick (default 100 ms, one measurement
+	// bin of the paper's traces).
+	TickDur time.Duration
+	// Ticks is the run length used by Run and sizes the utilization
+	// sample window (default 50).
+	Ticks int
+	// MinSpeedKmh and MaxSpeedKmh bound the random-waypoint walking
+	// speed. MaxSpeedKmh 0 keeps the population static (a PPP snapshot).
+	MinSpeedKmh, MaxSpeedKmh float64
+}
+
+// DefaultModel returns the campus default: a PPP population at 5000
+// UEs/km² (≈2300 UEs over the 0.46 km² campus), the default traffic mix,
+// 100 ms ticks and pedestrian mobility up to 5 km/h.
+func DefaultModel() Model {
+	return Model{
+		LambdaPerKm2: 5000,
+		Mix:          traffic.DefaultMix(),
+		TickDur:      100 * time.Millisecond,
+		Ticks:        50,
+		MinSpeedKmh:  0,
+		MaxSpeedKmh:  5,
+	}
+}
+
+func (m Model) withDefaults() Model {
+	if m.TickDur <= 0 {
+		m.TickDur = 100 * time.Millisecond
+	}
+	if m.Ticks <= 0 {
+		m.Ticks = 1
+	}
+	if m.Mix == (traffic.MixWeights{}) {
+		m.Mix = traffic.DefaultMix()
+	}
+	if m.MaxSpeedKmh < m.MinSpeedKmh {
+		m.MaxSpeedKmh = m.MinSpeedKmh
+	}
+	return m
+}
+
+// Population is a UE population and its preallocated tick arena. All
+// per-UE state is structure-of-arrays; nothing inside Tick allocates.
+type Population struct {
+	Campus *deploy.Campus
+	Model  Model
+
+	n    int
+	seed int64
+
+	// Per-UE state (SoA arena).
+	x, y      []float64 // position (m)
+	tx, ty    []float64 // waypoint target
+	speed     []float64 // m/s; 0 = static
+	class     []traffic.Class
+	demandBps []float64 // this tick's offered rate
+	se        []float64 // serving-link spectral efficiency (bits/RE/layer)
+	thrBps    []float64 // this tick's delivered rate
+	sumBits   []float64 // delivered bits accumulated over the run
+	cell      []int32   // serving cell dense index, -1 = outage
+	demandPRB []int32   // this tick's PRB demand (≤ cell budget)
+	grantPRB  []int32   // this tick's PRB grant
+
+	// Cells, dense-indexed NR first then LTE.
+	cells  []*radio.Cell
+	nNR    int
+	budget []int32
+	pciIdx map[int]int32
+
+	// Counting-sort and scheduler scratch.
+	cnt         []int32 // per-bucket counts, then fill cursors
+	bounds      []int   // bucket cut points over order; bucket ncells = outage
+	order       []int32 // UE indices grouped by serving cell
+	schedDemand []int32
+	schedGrant  []int32
+	segs        []par.Range // per-cell segments over order, rebuilt per tick
+
+	// Determinism plumbing.
+	ueShards []par.Range
+	shardRng []*rand.Rand
+	ueKey    rng.Key
+
+	// Accumulators.
+	util      []float64 // utilization ring: Model.Ticks × ncells samples
+	utilTicks int
+	attach    []int64 // per-cell total attached UE-ticks
+	tick      int
+
+	// Tick-phase closures, built once so Tick allocates nothing.
+	workers int
+	phaseA  func(par.Range)
+	phaseC  func(par.Range)
+}
+
+// New builds a population over the campus: PPP placement (outdoor,
+// uniform given the count), per-UE class assignment from the mix, and
+// the full tick arena. The campus field maps are warmed up front so the
+// first tick already runs the allocation-free BestServer fast path.
+func New(c *deploy.Campus, m Model, seed int64) *Population {
+	m = m.withDefaults()
+	src := rng.New(seed)
+	placeRng := src.Stream("pop.place")
+	n := m.N
+	if n <= 0 {
+		n = deploy.PoissonCount(placeRng, m.LambdaPerKm2*c.AreaKm2())
+		if n < 1 {
+			n = 1
+		}
+	}
+	p := &Population{Campus: c, Model: m, n: n, seed: seed}
+
+	p.x = make([]float64, n)
+	p.y = make([]float64, n)
+	p.tx = make([]float64, n)
+	p.ty = make([]float64, n)
+	p.speed = make([]float64, n)
+	p.class = make([]traffic.Class, n)
+	p.demandBps = make([]float64, n)
+	p.se = make([]float64, n)
+	p.thrBps = make([]float64, n)
+	p.sumBits = make([]float64, n)
+	p.cell = make([]int32, n)
+	p.demandPRB = make([]int32, n)
+	p.grantPRB = make([]int32, n)
+
+	p.cells = append(append([]*radio.Cell(nil), c.NRCells...), c.LTECells...)
+	p.nNR = len(c.NRCells)
+	p.budget = make([]int32, len(p.cells))
+	p.pciIdx = make(map[int]int32, len(p.cells))
+	for i, cell := range p.cells {
+		p.budget[i] = int32(cell.Band.PRBs)
+		p.pciIdx[cell.PCI] = int32(i)
+	}
+
+	ncells := len(p.cells)
+	p.cnt = make([]int32, ncells+1)
+	p.bounds = make([]int, ncells+2)
+	p.order = make([]int32, n)
+	p.schedDemand = make([]int32, n)
+	p.schedGrant = make([]int32, n)
+	p.segs = make([]par.Range, 0, ncells)
+
+	p.utilTicks = m.Ticks
+	p.util = make([]float64, p.utilTicks*ncells)
+	p.attach = make([]int64, ncells)
+
+	c.WarmFieldMaps()
+	c.PlacePPP(placeRng, p.x, p.y)
+	copy(p.tx, p.x)
+	copy(p.ty, p.y)
+	classRng := src.Stream("pop.class")
+	for i := range p.class {
+		p.class[i] = m.Mix.Sample(classRng)
+	}
+	if m.MaxSpeedKmh > 0 {
+		walkRng := src.Stream("pop.walk")
+		for i := 0; i < n; i++ {
+			t := roadWaypoint(c, walkRng)
+			p.tx[i], p.ty[i] = t.X, t.Y
+			p.speed[i] = drawSpeedKmh(walkRng, m) / 3.6
+		}
+	}
+
+	p.ueShards = par.ShardSize(n, popShardSize)
+	p.ueKey = src.Key("pop.ue")
+	p.shardRng = make([]*rand.Rand, len(p.ueShards))
+	for i := range p.shardRng {
+		p.shardRng[i] = src.Shard("pop.ue", i)
+	}
+
+	p.phaseA = func(r par.Range) {
+		rr := p.shardRng[r.Index]
+		rr.Seed(p.ueKey.At(r.Index, p.tick))
+		for i := r.Lo; i < r.Hi; i++ {
+			p.stepUE(i, rr)
+		}
+	}
+	p.phaseC = func(r par.Range) {
+		p.scheduleCell(r)
+	}
+	return p
+}
+
+// drawSpeedKmh draws a waypoint speed within the model's bounds, floored
+// so walkers never stall.
+func drawSpeedKmh(r *rand.Rand, m Model) float64 {
+	lo := m.MinSpeedKmh
+	if lo < minWalkSpeedKmh {
+		lo = minWalkSpeedKmh
+	}
+	hi := m.MaxSpeedKmh
+	if hi < lo {
+		hi = lo
+	}
+	return rng.Uniform(r, lo, hi)
+}
+
+// roadWaypoint draws a random waypoint on the campus road graph — the
+// same distance-proportional draw the hand-off walker uses.
+func roadWaypoint(c *deploy.Campus, r *rand.Rand) geom.Point {
+	at := r.Float64() * c.RoadLengthM()
+	for _, road := range c.Roads {
+		l := road.Length()
+		if at <= l {
+			return road.At(at / l)
+		}
+		at -= l
+	}
+	return c.Roads[len(c.Roads)-1].B
+}
+
+// Len returns the population size.
+func (p *Population) Len() int { return p.n }
+
+// Ticks returns how many ticks have executed.
+func (p *Population) Ticks() int { return p.tick }
+
+// Place pins UE i at pos and cancels its current waypoint (the probe
+// harness teleports its single UE along surveyed positions this way).
+func (p *Population) Place(i int, pos geom.Point) {
+	p.x[i], p.y[i] = pos.X, pos.Y
+	p.tx[i], p.ty[i] = pos.X, pos.Y
+	p.speed[i] = 0
+}
+
+// ServingPCI returns UE i's serving cell PCI after the last tick, or -1
+// in outage.
+func (p *Population) ServingPCI(i int) int {
+	if p.cell[i] < 0 {
+		return -1
+	}
+	return p.cells[p.cell[i]].PCI
+}
+
+// GrantPRB returns UE i's PRB grant from the last tick.
+func (p *Population) GrantPRB(i int) int { return int(p.grantPRB[i]) }
+
+// DemandPRB returns UE i's PRB demand from the last tick.
+func (p *Population) DemandPRB(i int) int { return int(p.demandPRB[i]) }
+
+// ThroughputBps returns UE i's delivered rate over the last tick.
+func (p *Population) ThroughputBps(i int) float64 { return p.thrBps[i] }
+
+// Class returns UE i's traffic class.
+func (p *Population) Class(i int) traffic.Class { return p.class[i] }
+
+// Run builds the population and executes Model.Ticks ticks across up to
+// workers goroutines (the par.Workers convention). Reports are
+// bit-identical for every workers value.
+func Run(c *deploy.Campus, m Model, seed int64, workers int) *Population {
+	p := New(c, m, seed)
+	for t := 0; t < p.Model.Ticks; t++ {
+		p.Tick(workers)
+	}
+	return p
+}
+
+// Tick advances the population by one scheduling interval:
+//
+//	A. per-UE (sharded): move, draw offered traffic, attach through the
+//	   cached BestServer field maps, convert demand to PRBs;
+//	B. serial O(N): counting-sort UEs into per-cell groups;
+//	C. per-cell (sharded): run the PRB scheduler over each cell's group,
+//	   scatter grants, convert to delivered throughput, accumulate
+//	   cell-load and fairness state.
+//
+// Workers only sets the goroutine count; shard layouts depend on the
+// population and cell counts alone, so results are bit-identical for
+// every value. With workers 1 the phases run inline — the zero-alloc
+// batch loop PopTick100k measures.
+func (p *Population) Tick(workers int) {
+	p.workers = workers
+	par.Do(workers, p.ueShards, p.phaseA)
+
+	// Phase B: counting sort by serving cell. Bucket ncells collects the
+	// outage UEs; they sort after every cell and are not scheduled.
+	ncells := len(p.cells)
+	for b := range p.cnt {
+		p.cnt[b] = 0
+	}
+	for i := 0; i < p.n; i++ {
+		b := p.cell[i]
+		if b < 0 {
+			b = int32(ncells)
+		}
+		p.cnt[b]++
+	}
+	p.bounds[0] = 0
+	for b := 0; b <= ncells; b++ {
+		p.bounds[b+1] = p.bounds[b] + int(p.cnt[b])
+	}
+	for b := range p.cnt {
+		p.cnt[b] = int32(p.bounds[b]) // reuse as fill cursors
+	}
+	for i := 0; i < p.n; i++ {
+		b := p.cell[i]
+		if b < 0 {
+			b = int32(ncells)
+		}
+		p.order[p.cnt[b]] = int32(i)
+		p.cnt[b]++
+	}
+	p.segs = par.Segments(p.bounds[:ncells+1], p.segs[:0])
+
+	par.Do(workers, p.segs, p.phaseC)
+	p.tick++
+}
+
+// stepUE is the phase-A batch body: one UE's move/demand/attach step.
+// Writes are confined to UE i's slots.
+func (p *Population) stepUE(i int, r *rand.Rand) {
+	m := &p.Model
+	if m.MaxSpeedKmh > 0 && p.speed[i] > 0 {
+		pos := geom.Point{X: p.x[i], Y: p.y[i]}
+		tgt := geom.Point{X: p.tx[i], Y: p.ty[i]}
+		step := p.speed[i] * m.TickDur.Seconds()
+		if pos.Dist(tgt) <= step {
+			pos = tgt
+			nt := roadWaypoint(p.Campus, r)
+			p.tx[i], p.ty[i] = nt.X, nt.Y
+			p.speed[i] = drawSpeedKmh(r, *m) / 3.6
+		} else {
+			dir := tgt.Sub(pos)
+			norm := math.Hypot(dir.X, dir.Y)
+			pos = pos.Add(dir.Scale(step / norm))
+		}
+		p.x[i], p.y[i] = pos.X, pos.Y
+	}
+
+	d := traffic.OfferedBps(p.class[i], r)
+	p.demandBps[i] = d
+	p.cell[i] = -1
+	p.se[i] = 0
+	p.demandPRB[i] = 0
+	p.grantPRB[i] = 0
+	p.thrBps[i] = 0
+
+	pos := geom.Point{X: p.x[i], Y: p.y[i]}
+	serving, ok := p.Campus.BestServer(radio.NR, pos)
+	if !ok || !serving.Usable() {
+		// NSA fallback: no usable NR secondary, data rides the LTE layer.
+		lte, okL := p.Campus.BestServer(radio.LTE, pos)
+		if !okL || !lte.Usable() {
+			return // coverage hole: no service this tick
+		}
+		serving = lte
+	}
+	ci := p.pciIdx[serving.PCI]
+	p.cell[i] = ci
+	p.se[i] = serving.SE
+	if d <= 0 {
+		return
+	}
+	perPRB := p.cells[ci].Band.Rate(serving.SE, 1)
+	if perPRB <= 0 {
+		return
+	}
+	need := int32(math.Ceil(d / perPRB))
+	if need > p.budget[ci] || need < 0 {
+		need = p.budget[ci] // a single UE cannot use more than the grid
+	}
+	p.demandPRB[i] = need
+}
+
+// scheduleCell is the phase-C batch body: PRB scheduling and throughput
+// for one cell's UE group (r.Index is the dense cell index, [r.Lo, r.Hi)
+// its segment of the order array). Writes are confined to the segment's
+// UEs and the cell's own accumulator slots.
+func (p *Population) scheduleCell(r par.Range) {
+	c := r.Index
+	seg := r
+	demands := p.schedDemand[seg.Lo:seg.Hi]
+	grants := p.schedGrant[seg.Lo:seg.Hi]
+	for j := 0; j < seg.Len(); j++ {
+		demands[j] = p.demandPRB[p.order[seg.Lo+j]]
+	}
+	granted := Schedule(demands, grants, p.budget[c], p.tick)
+
+	band := p.cells[c].Band
+	tickSec := p.Model.TickDur.Seconds()
+	for j := 0; j < seg.Len(); j++ {
+		ue := p.order[seg.Lo+j]
+		g := grants[j]
+		p.grantPRB[ue] = g
+		thr := 0.0
+		if g > 0 {
+			thr = band.Rate(p.se[ue], int(g))
+			if thr > p.demandBps[ue] {
+				thr = p.demandBps[ue]
+			}
+		}
+		p.thrBps[ue] = thr
+		p.sumBits[ue] += thr * tickSec
+	}
+	p.util[(p.tick%p.utilTicks)*len(p.cells)+c] = float64(granted) / float64(p.budget[c])
+	p.attach[c] += int64(seg.Len())
+}

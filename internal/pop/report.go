@@ -1,0 +1,145 @@
+package pop
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fivegsim/internal/radio"
+)
+
+// Reports over a finished run. Every formatter here emits byte-stable
+// lines — fixed ordering (dense cell index, which is PCI-ordered within
+// each technology), fixed float formatting — because the determinism
+// suite compares Workers-1 and Workers-N runs as raw bytes, not as
+// parsed approximations.
+
+// UtilSamples appends every recorded per-tick utilization sample
+// (granted PRBs / budget) of the given technology's cells to out and
+// returns it. The window covers the last min(Ticks, Model.Ticks) ticks.
+func (p *Population) UtilSamples(t radio.Tech, out []float64) []float64 {
+	ticks := p.tick
+	if ticks > p.utilTicks {
+		ticks = p.utilTicks
+	}
+	ncells := len(p.cells)
+	for k := 0; k < ticks; k++ {
+		row := p.util[k*ncells : (k+1)*ncells]
+		for c, u := range row {
+			if p.cells[c].Tech == t {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// MeanUtil returns the mean recorded utilization of the technology's
+// cells over the sample window.
+func (p *Population) MeanUtil(t radio.Tech) float64 {
+	var sum float64
+	var n int
+	for _, u := range p.UtilSamples(t, nil) {
+		sum += u
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// PerUEThroughputBps returns each UE's mean delivered rate over the run
+// (total delivered bits / elapsed time). Index i is UE i.
+func (p *Population) PerUEThroughputBps() []float64 {
+	out := make([]float64, p.n)
+	elapsed := float64(p.tick) * p.Model.TickDur.Seconds()
+	if elapsed <= 0 {
+		return out
+	}
+	for i, bits := range p.sumBits {
+		out[i] = bits / elapsed
+	}
+	return out
+}
+
+// JainIndex computes Jain's fairness index J = (Σx)² / (n·Σx²) over xs.
+// 1 is perfectly fair; 1/n is maximally unfair. Empty or all-zero input
+// returns 0.
+func JainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if len(xs) == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by sorting a copy;
+// nearest-rank with linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	return s[lo] + (s[hi]-s[lo])*(pos-float64(lo))
+}
+
+// CellLoadLines formats one line per cell — dense index order — with the
+// cell's PCI, technology, mean utilization over the sample window, and
+// mean attached UEs per tick. The byte-stable output is the determinism
+// suite's cell-load fingerprint.
+func (p *Population) CellLoadLines() []string {
+	ncells := len(p.cells)
+	ticks := p.tick
+	window := ticks
+	if window > p.utilTicks {
+		window = p.utilTicks
+	}
+	lines := make([]string, 0, ncells)
+	for c, cell := range p.cells {
+		var sum float64
+		for k := 0; k < window; k++ {
+			sum += p.util[k*ncells+c]
+		}
+		meanUtil := 0.0
+		if window > 0 {
+			meanUtil = sum / float64(window)
+		}
+		meanAttach := 0.0
+		if ticks > 0 {
+			meanAttach = float64(p.attach[c]) / float64(ticks)
+		}
+		lines = append(lines, fmt.Sprintf("cell pci=%d tech=%s util=%.9f attach=%.4f",
+			cell.PCI, cell.Tech, meanUtil, meanAttach))
+	}
+	return lines
+}
+
+// FairnessLines formats the population-level fairness summary: Jain's
+// index and throughput percentiles over per-UE mean rates, byte-stable
+// for the determinism suite.
+func (p *Population) FairnessLines() []string {
+	thr := p.PerUEThroughputBps()
+	return []string{
+		fmt.Sprintf("fairness n=%d jain=%.9f", p.n, JainIndex(thr)),
+		fmt.Sprintf("throughput_mbps p10=%.6f p50=%.6f p90=%.6f",
+			Quantile(thr, 0.10)/1e6, Quantile(thr, 0.50)/1e6, Quantile(thr, 0.90)/1e6),
+	}
+}

@@ -1,0 +1,142 @@
+package pop
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property suite for the PRB scheduler. Three properties are checked
+// over 1000 randomized demand vectors (sizes 0–200, demands 0–400 PRBs,
+// budgets 1–264 spanning underload and deep overload):
+//
+//   - conservation: Σ grants ≤ budget and 0 ≤ grant[i] ≤ demand[i];
+//   - work-conservation: Σ grants == min(budget, Σ demands);
+//   - starvation-freedom: under persistent overload every demanding UE
+//     is served within ⌈n/budget⌉ consecutive rounds.
+
+func TestScheduleProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(600))
+	for trial := 0; trial < 1000; trial++ {
+		n := r.Intn(201)
+		budget := int32(1 + r.Intn(264))
+		demands := make([]int32, n)
+		grants := make([]int32, n)
+		var want int64
+		for i := range demands {
+			switch r.Intn(4) {
+			case 0:
+				demands[i] = 0 // idle UE
+			default:
+				demands[i] = int32(r.Intn(401))
+			}
+			if demands[i] > 0 {
+				want += int64(demands[i])
+			}
+		}
+		round := r.Intn(1000)
+		granted := Schedule(demands, grants, budget, round)
+
+		var total int64
+		for i, g := range grants {
+			if g < 0 {
+				t.Fatalf("trial %d: negative grant %d at %d", trial, g, i)
+			}
+			if g > demands[i] {
+				t.Fatalf("trial %d: grant %d exceeds demand %d at %d", trial, g, demands[i], i)
+			}
+			total += int64(g)
+		}
+		if total != int64(granted) {
+			t.Fatalf("trial %d: returned total %d != Σ grants %d", trial, granted, total)
+		}
+		if total > int64(budget) {
+			t.Fatalf("trial %d: Σ grants %d exceeds budget %d", trial, total, budget)
+		}
+		expect := want
+		if expect > int64(budget) {
+			expect = int64(budget)
+		}
+		if total != expect {
+			t.Fatalf("trial %d: not work-conserving: granted %d, want min(budget=%d, demand=%d)=%d",
+				trial, total, budget, want, expect)
+		}
+	}
+}
+
+func TestScheduleZeroAndNegativeDemands(t *testing.T) {
+	demands := []int32{-5, 0, 10, -1, 3}
+	grants := make([]int32, len(demands))
+	granted := Schedule(demands, grants, 100, 0)
+	if granted != 13 {
+		t.Fatalf("granted = %d, want 13", granted)
+	}
+	for i, g := range grants {
+		if demands[i] <= 0 && g != 0 {
+			t.Fatalf("non-demanding UE %d granted %d", i, g)
+		}
+	}
+}
+
+func TestScheduleEmptyAndZeroBudget(t *testing.T) {
+	if g := Schedule(nil, nil, 100, 0); g != 0 {
+		t.Fatalf("empty: granted %d", g)
+	}
+	demands := []int32{5, 5}
+	grants := []int32{7, 7} // stale grants must be zeroed
+	if g := Schedule(demands, grants, 0, 3); g != 0 || grants[0] != 0 || grants[1] != 0 {
+		t.Fatalf("zero budget: granted %d, grants %v", g, grants)
+	}
+}
+
+// TestScheduleStarvationFreedom runs deep overload — n demanding UEs,
+// budget ≪ n — for ⌈n/budget⌉ consecutive rounds and checks that every
+// UE was served at least once: the rotating shortfall start sweeps the
+// whole index space.
+func TestScheduleStarvationFreedom(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + r.Intn(151)
+		budget := int32(1 + r.Intn(20)) // far below n
+		demands := make([]int32, n)
+		grants := make([]int32, n)
+		for i := range demands {
+			demands[i] = int32(1 + r.Intn(50))
+		}
+		served := make([]bool, n)
+		rounds := (n + int(budget) - 1) / int(budget)
+		base := r.Intn(1000)
+		for round := 0; round < rounds; round++ {
+			Schedule(demands, grants, budget, base+round)
+			for i, g := range grants {
+				if g > 0 {
+					served[i] = true
+				}
+			}
+		}
+		for i, s := range served {
+			if !s {
+				t.Fatalf("trial %d (n=%d budget=%d): UE %d starved over %d rounds",
+					trial, n, budget, i, rounds)
+			}
+		}
+	}
+}
+
+// TestScheduleDeterministic pins that Schedule is a pure function of
+// (demands, budget, round) — same inputs, same grants.
+func TestScheduleDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(602))
+	demands := make([]int32, 120)
+	for i := range demands {
+		demands[i] = int32(r.Intn(100))
+	}
+	a := make([]int32, len(demands))
+	b := make([]int32, len(demands))
+	Schedule(demands, a, 264, 17)
+	Schedule(demands, b, 264, 17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -43,6 +43,40 @@ func (s *Source) Shard(name string, index int) *rand.Rand {
 	return s.Stream(name + "#" + strconv.Itoa(index))
 }
 
+// Key is the precomputed hash of (seed, name): an allocation-free handle
+// for deriving per-(shard, tick) seeds inside hot loops, where Stream's
+// string concatenation would allocate. A population tick reseeds its
+// preallocated per-shard *rand.Rand from Key.At, so the draws a shard
+// sees depend only on (seed, name, shard, tick) — never on how many
+// values earlier ticks consumed, and never on the worker count.
+type Key uint64
+
+// Key derives the handle for name, using the same FNV-1a keying as
+// Stream (hash of the little-endian seed bytes followed by the name).
+func (s *Source) Key(name string) Key {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(s.seed) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(name))
+	return Key(h.Sum64())
+}
+
+// At mixes the key with a shard index and a tick number into a seed,
+// splitmix64-style. Distinct (shard, tick) pairs give independent seeds;
+// the +1 offsets keep shard 0 / tick 0 from collapsing onto the bare key.
+func (k Key) At(shard, tick int) int64 {
+	z := uint64(k) + 0x9E3779B97F4A7C15*uint64(shard+1) + 0xBF58476D1CE4E5B9*uint64(tick+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Normal draws from N(mean, std) on r, a convenience wrapper.
 func Normal(r *rand.Rand, mean, std float64) float64 {
 	return mean + std*r.NormFloat64()

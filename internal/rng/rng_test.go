@@ -95,3 +95,37 @@ func TestExpMean(t *testing.T) {
 		t.Fatalf("Exp mean = %v, want ≈3", mean)
 	}
 }
+
+func TestKeyDeterministicAndNamed(t *testing.T) {
+	a := New(42).Key("pop.ue")
+	b := New(42).Key("pop.ue")
+	if a != b {
+		t.Fatal("same (seed, name) produced different keys")
+	}
+	if New(42).Key("pop.walk") == a {
+		t.Fatal("different names produced the same key")
+	}
+	if New(7).Key("pop.ue") == a {
+		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func TestKeyAtDistinctSeeds(t *testing.T) {
+	// Distinct (shard, tick) pairs must give distinct seeds — the
+	// population tick's per-shard reseed depends on it. Collisions over
+	// a realistic grid would mean correlated shard streams.
+	k := New(42).Key("pop.ue")
+	seen := make(map[int64]bool)
+	for shard := 0; shard < 64; shard++ {
+		for tick := 0; tick < 256; tick++ {
+			s := k.At(shard, tick)
+			if seen[s] {
+				t.Fatalf("seed collision at shard %d tick %d", shard, tick)
+			}
+			seen[s] = true
+		}
+	}
+	if k.At(0, 0) == int64(k) {
+		t.Fatal("At(0,0) collapsed onto the bare key")
+	}
+}

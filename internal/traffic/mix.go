@@ -1,0 +1,113 @@
+package traffic
+
+import (
+	"math/rand"
+
+	"fivegsim/internal/rng"
+)
+
+// Per-UE traffic classes for the population layer: each UE of a campus
+// population carries one of the paper's three §6.3 workload shapes, and
+// every population tick draws that UE's offered downlink rate from the
+// class model. The per-class parameters are the same ones the replay
+// traces above encode — a class draw is the per-tick marginal of the
+// corresponding trace.
+
+// Class is one per-UE application profile.
+type Class uint8
+
+const (
+	// ClassWeb is short-burst page browsing: idle most of the time, a
+	// 2–3.5 MB page over 300–500 ms when a load fires (the Web trace's
+	// per-load shape).
+	ClassWeb Class = iota
+	// ClassVideo is UHD frame-by-frame telephony: ≈112 Mb/s with
+	// GOP-scale variation (the Video trace's rate model).
+	ClassVideo
+	// ClassBulk is saturated file transfer: the UE takes every PRB the
+	// cell will grant (the File trace's full-buffer regime).
+	ClassBulk
+	// NumClasses bounds the Class value space.
+	NumClasses
+)
+
+// String returns the workload name.
+func (c Class) String() string {
+	switch c {
+	case ClassWeb:
+		return "web"
+	case ClassVideo:
+		return "video"
+	case ClassBulk:
+		return "bulk"
+	default:
+		return "unknown"
+	}
+}
+
+// BulkDemandBps is the nominal offered rate of a saturating bulk UE —
+// far above any single cell's capacity, so the PRB scheduler clamps the
+// demand to the cell budget exactly as a full-buffer flow would behave.
+const BulkDemandBps = 2e9
+
+// webDuty is the fraction of ticks a browsing UE is mid-page-load: the
+// Web trace fires 5 loads of 300–500 ms every 30 s ⇒ ≈5·0.4/30.
+const webDuty = 0.067
+
+// MixWeights is the population's application mix. Weights need not sum
+// to one; Sample normalizes.
+type MixWeights struct {
+	Web, Video, Bulk float64
+}
+
+// DefaultMix returns the campus default: browsing-dominated with a
+// video-telephony minority and a few saturating bulk transfers, the
+// workload balance of the paper's §6 application study.
+func DefaultMix() MixWeights { return MixWeights{Web: 0.7, Video: 0.2, Bulk: 0.1} }
+
+// Sample draws a class from the normalized weights. Non-positive or
+// all-zero weights degrade safely (all-zero draws ClassWeb).
+func (w MixWeights) Sample(r *rand.Rand) Class {
+	web, video, bulk := max0(w.Web), max0(w.Video), max0(w.Bulk)
+	total := web + video + bulk
+	if total <= 0 {
+		return ClassWeb
+	}
+	u := r.Float64() * total
+	switch {
+	case u < web:
+		return ClassWeb
+	case u < web+video:
+		return ClassVideo
+	default:
+		return ClassBulk
+	}
+}
+
+func max0(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+// OfferedBps draws one tick's offered downlink rate for a UE of the
+// given class. The draws are the per-tick marginals of the replay
+// traces: web is on/off with page loads of 2–3.5 MB over ≈0.4 s, video
+// is the clamped-normal GOP rate of the Video trace, and bulk saturates.
+func OfferedBps(c Class, r *rand.Rand) float64 {
+	switch c {
+	case ClassWeb:
+		if r.Float64() >= webDuty {
+			return 0
+		}
+		pageBytes := rng.Uniform(r, 2.0, 3.5) * (1 << 20)
+		return pageBytes * 8 / 0.4
+	case ClassVideo:
+		return rng.ClampedNormal(r, 112e6, 18e6, 60e6, 165e6)
+	case ClassBulk:
+		return BulkDemandBps
+	default:
+		return 0
+	}
+}

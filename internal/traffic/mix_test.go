@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMixSampleProportions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := MixWeights{Web: 0.7, Video: 0.2, Bulk: 0.1}
+	const n = 100000
+	var counts [NumClasses]int
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r)]++
+	}
+	for c, want := range map[Class]float64{ClassWeb: 0.7, ClassVideo: 0.2, ClassBulk: 0.1} {
+		got := float64(counts[c]) / n
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s: drawn fraction %.3f, want %.2f ± 0.02", c, got, want)
+		}
+	}
+}
+
+func TestMixSampleNormalizes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	// Unnormalized weights must behave like their normalized form.
+	w := MixWeights{Web: 7, Video: 2, Bulk: 1}
+	var bulk int
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if w.Sample(r) == ClassBulk {
+			bulk++
+		}
+	}
+	if got := float64(bulk) / n; got < 0.08 || got > 0.12 {
+		t.Errorf("bulk fraction %.3f under 7/2/1 weights, want ≈0.10", got)
+	}
+}
+
+func TestMixSampleDegenerate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	if c := (MixWeights{}).Sample(r); c != ClassWeb {
+		t.Errorf("all-zero mix drew %s, want web", c)
+	}
+	if c := (MixWeights{Web: -1, Video: -2, Bulk: -3}).Sample(r); c != ClassWeb {
+		t.Errorf("all-negative mix drew %s, want web", c)
+	}
+	for i := 0; i < 100; i++ {
+		if c := (MixWeights{Bulk: 5}).Sample(r); c != ClassBulk {
+			t.Fatalf("bulk-only mix drew %s", c)
+		}
+	}
+}
+
+func TestOfferedBpsRanges(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var webActive int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if d := OfferedBps(ClassWeb, r); d > 0 {
+			webActive++
+			// 2–3.5 MB over 0.4 s ⇒ ≈42–73 Mb/s.
+			if d < 41e6 || d > 74e6 {
+				t.Fatalf("web burst %.1f Mb/s outside page-load range", d/1e6)
+			}
+		}
+		if d := OfferedBps(ClassVideo, r); d < 60e6 || d > 165e6 {
+			t.Fatalf("video draw %.1f Mb/s outside clamp", d/1e6)
+		}
+		if d := OfferedBps(ClassBulk, r); d != BulkDemandBps {
+			t.Fatalf("bulk draw %.0f, want saturating constant", d)
+		}
+	}
+	duty := float64(webActive) / n
+	if duty < 0.05 || duty > 0.09 {
+		t.Errorf("web duty cycle %.3f, want ≈0.067", duty)
+	}
+	if d := OfferedBps(NumClasses, r); d != 0 {
+		t.Errorf("unknown class offered %.0f, want 0", d)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassWeb: "web", ClassVideo: "video", ClassBulk: "bulk", NumClasses: "unknown",
+	} {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}

@@ -36,12 +36,13 @@ func sameResults(t *testing.T, want, got []Result, label string) {
 // must render identical Lines and Values for Workers=1 and Workers=8.
 // The subset spans every parallelized code path that fits a test budget:
 // coverage survey shards (T1, T2), hand-off campaign walks (F5), wire
-// probe sweeps (F13, F15) and the buffer-estimation pair (T3).
+// probe sweeps (F13, F15), the buffer-estimation pair (T3) and the
+// population tick shards (X12).
 func TestExperimentParallelEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-seed equivalence sweep is not short-mode work")
 	}
-	ids := []string{"T1", "T2", "F5", "F13", "F15", "T3"}
+	ids := []string{"T1", "T2", "F5", "F13", "F15", "T3", "X12"}
 	for _, seed := range []int64{1, 42, 7} {
 		cfg := Config{Seed: seed, Quick: true, Workers: 1}
 		serial, err := RunExperiments(cfg, ids...)

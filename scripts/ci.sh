@@ -24,8 +24,11 @@ go test -race -short ./...
 echo "== fault determinism short suite =="
 go test -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/fault/ ./internal/par/ .
 
+echo "== population suite (PRB properties, determinism, N=1, alloc guards) =="
+go test -race -short ./internal/pop/ ./internal/traffic/ ./internal/deploy/
+
 echo "== bench smoke (quick hot-path benches vs checked-in baseline) =="
-go run ./cmd/fgperf bench -quick -out /tmp/fgperf_current.json -compare BENCH_5.json -threshold 0.15
+go run ./cmd/fgperf bench -quick -out /tmp/fgperf_current.json -compare BENCH_6.json -threshold 0.15
 
 echo "== bench gate self-check (must trip on a synthetic regression) =="
 # Doctor a baseline from the run above: same host fingerprint, but every

@@ -46,6 +46,7 @@ func main() {
 	profile := flag.Bool("profile", false, "measure per-event callback wall time (adds overhead)")
 	faults := flag.String("faults", "", "arm a fault-scenario preset on every run ('list' to enumerate)")
 	population := flag.Int("population", 0, "override the population-experiment UE count (X12–X14; 0 = built-in sizing)")
+	progress := flag.Bool("progress", false, "stream live start/finish/ETA progress lines to stderr")
 	flag.Parse()
 
 	if *list {
@@ -116,6 +117,23 @@ func main() {
 			fmt.Println()
 		}
 		manifests = append(manifests, res.Manifest)
+	}
+	if *progress {
+		// Progress events arrive in completion order (OnResult keeps
+		// paper order); stderr keeps them apart from the reports.
+		cfg.OnProgress = func(ev obs.ProgressEvent) {
+			switch ev.Kind {
+			case obs.ProgressExperimentStart:
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s started\n", ev.Completed, ev.Total, ev.Experiment)
+			case obs.ProgressExperimentFinish:
+				status := "done"
+				if ev.Failed {
+					status = "FAILED"
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s %s (elapsed %s, eta %s)\n", ev.Completed, ev.Total,
+					ev.Experiment, status, ev.Elapsed.Round(time.Second), ev.ETA.Round(time.Second))
+			}
+		}
 	}
 	start := time.Now()
 	results, err := fivegsim.RunExperimentsContext(context.Background(), cfg, ids...)

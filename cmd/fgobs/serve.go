@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fivegsim"
+	"fivegsim/internal/obs"
+)
+
+// cmdServe runs a campaign behind a live telemetry endpoint: /metrics
+// (Prometheus text format), /metrics.json, /progress and /trace fill in
+// as experiments complete (the engine merges each experiment's
+// sub-registry at the paper-order frontier). After the campaign the
+// server keeps answering scrapes until SIGINT/SIGTERM — context
+// cancellation is the one shutdown path — unless -exit asked for an
+// immediate clean exit.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9137", "listen address (port 0 picks a free port)")
+	quick := fs.Bool("quick", false, "reduced-duration runs")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	workers := fs.Int("workers", 1, "campaign-engine goroutines: 0 = all cores, 1 = serial")
+	run := fs.String("run", "", "comma-separated experiment IDs (default: all)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	exit := fs.Bool("exit", false, "exit when the campaign finishes instead of serving until interrupted")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		usage()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := obs.NewRegistry()
+	tracker := obs.NewProgressTracker()
+	tracer := obs.NewTracer(0)
+	srv, err := obs.Serve(ctx, *addr, obs.ServeOptions{
+		Registry: reg, Progress: tracker, Tracer: tracer, Pprof: *pprofOn,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fgobs:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fgobs: serving telemetry on http://%s (/metrics /metrics.json /progress /trace)\n", srv.Addr)
+
+	var ids []string
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Obs: reg, Trace: tracer}
+	cfg.OnProgress = func(ev obs.ProgressEvent) {
+		tracker.Observe(ev)
+		switch ev.Kind {
+		case obs.ProgressExperimentStart:
+			fmt.Printf("fgobs: [%d/%d] %s started\n", ev.Completed, ev.Total, ev.Experiment)
+		case obs.ProgressExperimentFinish:
+			status := "done"
+			if ev.Failed {
+				status = "FAILED"
+			}
+			fmt.Printf("fgobs: [%d/%d] %s %s (elapsed %s, eta %s)\n", ev.Completed, ev.Total,
+				ev.Experiment, status, ev.Elapsed.Round(time.Second), ev.ETA.Round(time.Second))
+		}
+	}
+	results, err := fivegsim.RunExperimentsContext(ctx, cfg, ids...)
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Println("fgobs: campaign interrupted; shutting down")
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "fgobs: %v; try fgbench -list\n", err)
+		stop()
+		srv.Wait()
+		os.Exit(1)
+	default:
+		failed := 0
+		for _, r := range results {
+			if r.Err != nil {
+				failed++
+			}
+		}
+		fmt.Printf("fgobs: campaign complete: %d experiments, %d failed; metrics stay live\n",
+			len(results), failed)
+		if !*exit {
+			fmt.Println("fgobs: serving until interrupted (ctrl-c to exit)")
+		}
+	}
+	if *exit {
+		stop()
+	}
+	if err := srv.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "fgobs:", err)
+		os.Exit(1)
+	}
+}

@@ -6,20 +6,27 @@
 //	fgpop -n 20000 -ticks 100
 //	fgpop -lambda 8000 -mix 0.6,0.3,0.1 -workers 8
 //	fgpop -n 1000 -speed 0 -ticks 50        # static PPP snapshot
+//	fgpop -n 5000 -metrics                  # print the pop.* snapshot
+//	fgpop -n 5000 -trace t.json -manifest m.json
+//	                                        # telemetry artifacts (fgbench parity)
 //
 // Reports are bit-identical for every -workers value (the internal/par
-// determinism contract; internal/pop's determinism suite enforces it).
+// determinism contract; internal/pop's determinism suite enforces it),
+// with or without telemetry attached.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"fivegsim/internal/deploy"
+	"fivegsim/internal/obs"
 	"fivegsim/internal/pop"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/traffic"
@@ -35,6 +42,9 @@ func main() {
 	mix := flag.String("mix", "", "traffic mix as web,video,bulk weights, e.g. 0.7,0.2,0.1")
 	speed := flag.Float64("speed", 5, "max walking speed in km/h (0 = static population)")
 	perCell := flag.Bool("cells", false, "print the per-cell load table")
+	metrics := flag.Bool("metrics", false, "collect and print the pop.* metrics snapshot")
+	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the run to this file")
+	manifestPath := flag.String("manifest", "", "write the run manifest (JSON, fgobs-show compatible) to this file")
 	flag.Parse()
 
 	m := pop.DefaultModel()
@@ -51,9 +61,17 @@ func main() {
 		m.Mix = w
 	}
 
+	var tel pop.Telemetry
+	if *metrics || *manifestPath != "" {
+		tel.Obs = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		tel.Trace = obs.NewTracer(0)
+	}
+
 	campus := deploy.New(*seed)
 	start := time.Now()
-	p := pop.Run(campus, m, *seed, *workers)
+	p := pop.RunWith(campus, m, *seed, *workers, tel)
 	elapsed := time.Since(start)
 
 	fmt.Printf("population: %d UEs over %.2f km² (%d NR + %d LTE cells), %d ticks × %s in %v\n",
@@ -73,6 +91,38 @@ func main() {
 	for _, l := range p.FairnessLines() {
 		fmt.Println(l)
 	}
+
+	if *metrics {
+		fmt.Printf("-- metrics (population run, %d ticks) --\n", p.Ticks())
+		fmt.Print(tel.Obs.Text())
+	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, tel.Trace.WriteChromeTrace); err != nil {
+			log.Fatalf("fgpop: %v", err)
+		}
+		fmt.Printf("wrote %d trace events to %s (%d overwritten by ring wrap)\n",
+			len(tel.Trace.Events()), *tracePath, tel.Trace.Dropped())
+	}
+	if *manifestPath != "" {
+		man := obs.NewManifest("POP", "population-scale campus run", *seed, false, start, elapsed, tel.Obs)
+		if err := writeFile(*manifestPath, man.WriteJSON); err != nil {
+			log.Fatalf("fgpop: %v", err)
+		}
+		fmt.Printf("wrote run manifest to %s\n", *manifestPath)
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseMix parses "web,video,bulk" float weights.

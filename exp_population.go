@@ -5,6 +5,7 @@ import (
 
 	"fivegsim/internal/deploy"
 	"fivegsim/internal/handoff"
+	"fivegsim/internal/obs"
 	"fivegsim/internal/pop"
 	"fivegsim/internal/radio"
 	"fivegsim/internal/stats"
@@ -31,6 +32,21 @@ func popModel(n, ticks int) pop.Model {
 	return m
 }
 
+// popTelemetry wires the run's observability into a population run:
+// pop.* instruments into cfg.Obs, tick spans into cfg.Trace, and — when
+// the campaign streams progress — per-tick obs.ProgressTick events
+// attributed to the experiment.
+func popTelemetry(cfg Config, id string) pop.Telemetry {
+	t := pop.Telemetry{Obs: cfg.Obs, Trace: cfg.Trace}
+	if cfg.OnProgress != nil {
+		t.OnTick = func(tick, total int) {
+			cfg.OnProgress(obs.ProgressEvent{Kind: obs.ProgressTick,
+				Experiment: id, Tick: tick, Ticks: total})
+		}
+	}
+	return t
+}
+
 // x12Size returns X12's population size: Config.Population when set,
 // otherwise the built-in Quick/full sizing.
 func x12Size(cfg Config) int {
@@ -50,7 +66,7 @@ func runX12CellLoad(cfg Config) Result {
 		ticks = 25
 	}
 	campus := deploy.New(cfg.Seed)
-	p := pop.Run(campus, popModel(n, ticks), cfg.Seed, cfg.Workers)
+	p := pop.RunWith(campus, popModel(n, ticks), cfg.Seed, cfg.Workers, popTelemetry(cfg, "X12"))
 
 	res := Result{ID: "X12", Title: "Population-scale cell-load distributions",
 		Values: map[string]float64{}}
@@ -115,7 +131,7 @@ func runX13Fairness(cfg Config) Result {
 	res := Result{ID: "X13", Title: "Throughput fairness vs population size",
 		Values: map[string]float64{}}
 	for _, n := range x13Sweep(cfg) {
-		p := pop.Run(campus, popModel(n, ticks), cfg.Seed, cfg.Workers)
+		p := pop.RunWith(campus, popModel(n, ticks), cfg.Seed, cfg.Workers, popTelemetry(cfg, "X13"))
 		thr := p.PerUEThroughputBps()
 		j := pop.JainIndex(thr)
 		res.Lines = append(res.Lines, line(

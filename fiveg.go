@@ -88,6 +88,18 @@ type Config struct {
 	// may run on engine worker goroutines; keep the callback cheap. The
 	// final result slice is returned as usual.
 	OnResult func(Result)
+
+	// OnProgress, when non-nil, receives the structured progress stream
+	// of the campaign: an obs.ProgressExperimentStart event as each
+	// experiment is claimed, an obs.ProgressExperimentFinish event (with
+	// completed count and completed-work ETA) as each returns, and
+	// obs.ProgressTick events from experiments that expose inner
+	// granularity (the population runs report scheduling ticks). Unlike
+	// OnResult, events arrive in completion order — that is the point of
+	// live progress — but calls are always serialized; keep the callback
+	// cheap. Feed the stream to an obs.ProgressTracker to serve it as
+	// the /progress endpoint (obs.Serve, cmd/fgobs serve).
+	OnProgress func(obs.ProgressEvent)
 }
 
 // obsPath returns the calibrated path config for a technology/time of
@@ -293,15 +305,19 @@ func RunExperiments(cfg Config, ids ...string) ([]Result, error) {
 //
 // When cfg.Obs is set, each experiment runs against its own
 // sub-registry (so its Manifest snapshot covers that run alone) and the
-// sub-registries are merged into cfg.Obs in paper order. When
-// cfg.OnResult is set it is invoked once per result, in paper order, as
-// experiments complete. An unknown id is an *UnknownExperimentError.
+// sub-registries are merged into cfg.Obs in paper order as the
+// paper-order frontier advances — cfg.Obs is live during the campaign
+// (serve it with obs.Serve), not only after it. When cfg.OnResult is
+// set it is invoked once per result, in paper order, as experiments
+// complete; cfg.OnProgress receives the completion-order progress
+// stream. An unknown id is an *UnknownExperimentError.
 //
 // Cancellation is checked between experiments (the internal/par shard
 // boundary): after ctx is canceled no new experiment starts, in-flight
 // experiments finish, and the call returns a wrapped ctx.Err() — match
 // it with errors.Is(err, context.Canceled) — discarding the partial
-// results (results already streamed through OnResult stand).
+// results (results already streamed through OnResult, and their metrics
+// already merged into cfg.Obs, stand).
 func RunExperimentsContext(ctx context.Context, cfg Config, ids ...string) ([]Result, error) {
 	exps := Experiments()
 	if len(ids) > 0 {
@@ -325,28 +341,70 @@ func RunExperimentsContext(ctx context.Context, cfg Config, ids ...string) ([]Re
 		reg *obs.Registry
 	}
 	outs := make([]runOut, len(exps))
-	// Streaming state: emit completed results from the paper-order
-	// frontier so OnResult sees them in order no matter which worker
-	// finishes first.
+	// Streaming state: emit completed results — and merge their
+	// sub-registries into cfg.Obs — from the paper-order frontier, so
+	// OnResult sees results in order no matter which worker finishes
+	// first and a live /metrics endpoint watching cfg.Obs fills in as
+	// the campaign runs instead of only at the end. Frontier merging in
+	// paper order produces the same final totals as the end-of-campaign
+	// merge it replaces.
 	var emitMu sync.Mutex
 	emitted := make([]bool, len(exps))
 	emitNext := 0
+	// Progress state: completion counter and campaign clock for the
+	// ETA; progMu serializes every OnProgress call (tick events from
+	// inside experiments included).
+	var progMu sync.Mutex
+	progDone := 0
+	progStart := time.Now()
+	emitProgress := func(ev obs.ProgressEvent) {
+		progMu.Lock()
+		cfg.OnProgress(ev)
+		progMu.Unlock()
+	}
 	err := par.DoCtx(ctx, cfg.Workers, par.ShardSize(len(exps), 1), func(r par.Range) {
 		i := r.Lo
 		c := cfg
 		if cfg.Obs != nil {
 			c.Obs = obs.NewRegistry()
 		}
-		outs[i] = runOut{res: exps[i].Run(c), reg: c.Obs}
-		if cfg.OnResult != nil {
-			emitMu.Lock()
-			emitted[i] = true
-			for emitNext < len(exps) && emitted[emitNext] {
-				cfg.OnResult(outs[emitNext].res)
-				emitNext++
-			}
-			emitMu.Unlock()
+		if cfg.OnProgress != nil {
+			// Experiments see the serialized emitter, so their inner
+			// tick events interleave safely with the engine's own.
+			c.OnProgress = emitProgress
+			progMu.Lock()
+			done := progDone
+			progMu.Unlock()
+			emitProgress(obs.ProgressEvent{
+				Kind: obs.ProgressExperimentStart, Experiment: exps[i].ID,
+				Completed: done, Total: len(exps), Elapsed: time.Since(progStart),
+			})
 		}
+		outs[i] = runOut{res: exps[i].Run(c), reg: c.Obs}
+		if cfg.OnProgress != nil {
+			progMu.Lock()
+			progDone++
+			done := progDone
+			elapsed := time.Since(progStart)
+			cfg.OnProgress(obs.ProgressEvent{
+				Kind: obs.ProgressExperimentFinish, Experiment: exps[i].ID,
+				Completed: done, Total: len(exps), Failed: outs[i].res.Err != nil,
+				Elapsed: elapsed, ETA: obs.EstimateETA(elapsed, done, len(exps)),
+			})
+			progMu.Unlock()
+		}
+		emitMu.Lock()
+		emitted[i] = true
+		for emitNext < len(exps) && emitted[emitNext] {
+			if o := outs[emitNext]; o.reg != nil && o.reg != cfg.Obs {
+				cfg.Obs.Merge(o.reg)
+			}
+			if cfg.OnResult != nil {
+				cfg.OnResult(outs[emitNext].res)
+			}
+			emitNext++
+		}
+		emitMu.Unlock()
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fivegsim: campaign canceled: %w", err)
@@ -354,9 +412,6 @@ func RunExperimentsContext(ctx context.Context, cfg Config, ids ...string) ([]Re
 	results := make([]Result, len(outs))
 	for i, o := range outs {
 		results[i] = o.res
-		if o.reg != cfg.Obs {
-			cfg.Obs.Merge(o.reg)
-		}
 	}
 	return results, nil
 }

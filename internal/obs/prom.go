@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of a registry.
+//
+// The simulator's `pkg.metric{label=value}` names translate mechanically:
+// dots become underscores in the metric family name, the label block is
+// re-rendered with quoted, escaped values, and histograms expand into the
+// conventional `_bucket`/`_sum`/`_count` series with a cumulative
+// `le="+Inf"` terminator. Output ordering is fully deterministic —
+// families sort by name, series within a family by label string — so the
+// wire format is golden-file testable (prom_test.go pins it).
+
+// promSeries is one exposition line before rendering: a family, its
+// rendered label block (`{a="b"}` or empty) and the sample lines.
+type promSeries struct {
+	labels string
+	lines  []string
+}
+
+type promFamily struct {
+	name   string
+	kind   string // counter | gauge | histogram
+	series []promSeries
+}
+
+// WriteProm writes the registry in Prometheus text exposition format.
+// A nil registry writes nothing. The snapshot is taken under the
+// registry lock, so it is safe against concurrent instrument writers;
+// handed-out instrument handles keep updating atomically while the
+// exposition renders from the copied state.
+func WriteProm(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	fams := map[string]*promFamily{}
+	add := func(rawName, kind string, lines func(fam, labels string) []string) {
+		fam, labels := promName(rawName)
+		switch kind {
+		case "gauge-max":
+			fam += "_max"
+			kind = "gauge"
+		}
+		f, ok := fams[fam+" "+kind]
+		if !ok {
+			f = &promFamily{name: fam, kind: kind}
+			fams[fam+" "+kind] = f
+		}
+		f.series = append(f.series, promSeries{labels: labels, lines: lines(fam, labels)})
+	}
+
+	r.mu.Lock()
+	for name, c := range r.counters {
+		v := c.Value()
+		add(name, "counter", func(fam, labels string) []string {
+			return []string{fam + labels + " " + strconv.FormatInt(v, 10)}
+		})
+	}
+	for name, g := range r.gauges {
+		v, mx := g.Value(), g.Max()
+		add(name, "gauge", func(fam, labels string) []string {
+			return []string{fam + labels + " " + strconv.FormatInt(v, 10)}
+		})
+		add(name, "gauge-max", func(fam, labels string) []string {
+			return []string{fam + labels + " " + strconv.FormatInt(mx, 10)}
+		})
+	}
+	for name, h := range r.hists {
+		bounds := h.bounds
+		counts := make([]int64, len(h.counts))
+		for i := range h.counts {
+			counts[i] = atomic.LoadInt64(&h.counts[i])
+		}
+		count := h.Count()
+		sum := h.Sum()
+		add(name, "histogram", func(fam, labels string) []string {
+			out := make([]string, 0, len(bounds)+3)
+			var cum int64
+			for i, b := range bounds {
+				cum += counts[i]
+				out = append(out, fam+"_bucket"+mergeLE(labels, formatPromFloat(b))+" "+strconv.FormatInt(cum, 10))
+			}
+			out = append(out,
+				fam+"_bucket"+mergeLE(labels, "+Inf")+" "+strconv.FormatInt(count, 10),
+				fam+"_sum"+labels+" "+formatPromFloat(sum),
+				fam+"_count"+labels+" "+strconv.FormatInt(count, 10))
+			return out
+		})
+	}
+	r.mu.Unlock()
+
+	keys := make([]string, 0, len(fams))
+	for k := range fams {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := fams[k]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			for _, l := range s.lines {
+				if _, err := io.WriteString(w, l+"\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// promName splits a `pkg.metric{label=value,…}` instrument name into a
+// sanitized Prometheus family name and a rendered, escaped label block
+// (empty when the instrument has no labels).
+func promName(raw string) (fam, labels string) {
+	name := raw
+	if i := strings.IndexByte(raw, '{'); i >= 0 {
+		name = raw[:i]
+		labels = promLabels(strings.TrimSuffix(raw[i+1:], "}"))
+	}
+	return sanitizeProm(name), labels
+}
+
+// promLabels renders `k=v,k2=v2` as `{k="v",k2="v2"}` with Prometheus
+// label-value escaping (backslash, double quote, newline). Label order is
+// preserved from the instrument name, which registration keeps stable.
+func promLabels(body string) string {
+	if body == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range strings.Split(body, ",") {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, v, _ := strings.Cut(kv, "=")
+		b.WriteString(sanitizeProm(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLE injects the `le` bucket label into an existing label block.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(labels, "}") + `,le="` + le + `"}`
+}
+
+// escapeLabelValue applies the text-format escaping rules for values
+// inside double quotes: \ → \\, " → \", newline → \n.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// sanitizeProm maps an instrument name fragment onto the Prometheus
+// metric/label charset [a-zA-Z0-9_:]; everything else becomes '_'
+// (dots included, so `des.events_fired` → `des_events_fired`).
+func sanitizeProm(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatPromFloat renders a float sample the way Prometheus expects:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatPromFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

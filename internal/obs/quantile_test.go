@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Pin the histogram quantile estimator against hand-computed values:
+// linear interpolation inside the landing bucket, a lower edge that
+// starts at the observed min, overflow-bucket targets resolving to the
+// observed max, and clamping to [min, max]. These are the numbers the
+// manifest Metrics and `fgobs show` report as p50/p95/p99.
+
+func pinnedHistogram() *Histogram {
+	h := newHistogram([]float64{10, 20, 30})
+	// Bucket occupancy: (≤10): {5}, (≤20): {12, 14}, (≤30): {25, 28},
+	// overflow: {35}. count=6, min=5, max=35.
+	for _, v := range []float64{5, 12, 14, 25, 28, 35} {
+		h.Observe(v)
+	}
+	return h
+}
+
+func TestQuantileInterpolationPinned(t *testing.T) {
+	h := pinnedHistogram()
+	cases := []struct {
+		q, want float64
+	}{
+		// target 0.6 lands in the first bucket: lo = min = 5, frac 0.6
+		// of the way to bound 10 → 8.
+		{0.10, 8},
+		// target 3 exactly exhausts bucket two: lo = 10, frac 1 → 20.
+		{0.50, 20},
+		// target 4.5: cum 3 before bucket three, frac (4.5-3)/2 = 0.75
+		// between 20 and 30 → 27.5.
+		{0.75, 27.5},
+		// targets 5.7 and 5.94 pass every finite bucket (cum 5) → the
+		// overflow bucket reports the observed max.
+		{0.95, 35},
+		{0.99, 35},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%.2f) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileClampsToObservedMax: interpolation toward a bucket bound
+// beyond the largest observation must clamp to that observation.
+func TestQuantileClampsToObservedMax(t *testing.T) {
+	h := newHistogram([]float64{10})
+	h.Observe(7)
+	// Raw interpolation would give 7 + 0.5·(10-7) = 8.5; the only
+	// observation is 7, so every quantile is 7.
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%.2f) = %g, want the clamped max 7", q, got)
+		}
+	}
+}
+
+// TestSnapshotQuantiles: the snapshot carries the same pinned
+// p50/p95/p99 and the text exposition prints them.
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("pin.us", []float64{10, 20, 30})
+	for _, v := range []float64{5, 12, 14, 25, 28, 35} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d metrics, want 1", len(snap))
+	}
+	m := snap[0]
+	if m.P50 != 20 || m.P95 != 35 || m.P99 != 35 {
+		t.Fatalf("snapshot quantiles p50=%g p95=%g p99=%g, want 20/35/35", m.P50, m.P95, m.P99)
+	}
+	line := m.String()
+	for _, want := range []string{"p50=20", "p90=", "p95=35", "p99=35"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("metric line %q missing %q", line, want)
+		}
+	}
+}

@@ -418,6 +418,7 @@ type Metric struct {
 	Min   float64 `json:"min,omitempty"`
 	P50   float64 `json:"p50,omitempty"`
 	P90   float64 `json:"p90,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
 	P99   float64 `json:"p99,omitempty"`
 }
 
@@ -443,6 +444,7 @@ func (r *Registry) Snapshot() []Metric {
 			m.Max = math.Float64frombits(atomic.LoadUint64(&h.max))
 			m.P50 = h.Quantile(0.50)
 			m.P90 = h.Quantile(0.90)
+			m.P95 = h.Quantile(0.95)
 			m.P99 = h.Quantile(0.99)
 		}
 		out = append(out, m)
@@ -457,8 +459,8 @@ func (m Metric) String() string {
 	case "gauge":
 		return fmt.Sprintf("%-44s %12.0f  max=%.0f", m.Name, m.Value, m.Max)
 	case "histogram":
-		return fmt.Sprintf("%-44s count=%d sum=%.6g mean=%.6g min=%.6g max=%.6g p50=%.6g p90=%.6g p99=%.6g",
-			m.Name, m.Count, m.Sum, m.Value, m.Min, m.Max, m.P50, m.P90, m.P99)
+		return fmt.Sprintf("%-44s count=%d sum=%.6g mean=%.6g min=%.6g max=%.6g p50=%.6g p90=%.6g p95=%.6g p99=%.6g",
+			m.Name, m.Count, m.Sum, m.Value, m.Min, m.Max, m.P50, m.P90, m.P95, m.P99)
 	default:
 		return fmt.Sprintf("%-44s %12.0f", m.Name, m.Value)
 	}

@@ -14,6 +14,7 @@ import (
 	"fivegsim/internal/deploy"
 	"fivegsim/internal/des"
 	"fivegsim/internal/netsim"
+	"fivegsim/internal/obs"
 	"fivegsim/internal/pop"
 	"fivegsim/internal/radio"
 )
@@ -34,6 +35,7 @@ func Specs() []Spec {
 		{Name: "PathSaturate", Quick: true, Fn: benchPathSaturate},
 		{Name: "Survey", Quick: true, Fn: benchSurvey},
 		{Name: "PopTick100k", Quick: true, Fn: benchPopTick100k},
+		{Name: "PopTick100kTel", Fn: benchPopTick100kTel},
 		{Name: "RunAllWorkers1", Fn: func(b *testing.B) { benchRunAll(b, 1) }},
 		{Name: "RunAllWorkers8", Fn: func(b *testing.B) { benchRunAll(b, 8) }},
 	}
@@ -108,6 +110,24 @@ func benchPopTick100k(b *testing.B) {
 	m.N = 100_000
 	c := deploy.New(1)
 	p := pop.New(c, m, 1)
+	p.Tick(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Tick(1)
+	}
+}
+
+// benchPopTick100kTel is benchPopTick100k with live telemetry attached
+// (registry + tracer): it prices the sharded-counter accumulate/merge
+// and the per-tick span against the uninstrumented tick. Full-set only;
+// the telemetry-off bench is the CI-gated one.
+func benchPopTick100kTel(b *testing.B) {
+	b.ReportAllocs()
+	m := pop.DefaultModel()
+	m.N = 100_000
+	c := deploy.New(1)
+	p := pop.New(c, m, 1)
+	p.Instrument(pop.Telemetry{Obs: obs.NewRegistry(), Trace: obs.NewTracer(0)})
 	p.Tick(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

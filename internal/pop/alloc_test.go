@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fivegsim/internal/deploy"
+	"fivegsim/internal/obs"
 )
 
 // Allocation guards for the tick hot path: after New (which pre-warms
@@ -37,5 +38,25 @@ func TestTickZeroAllocWalking(t *testing.T) {
 	m.N = 3000
 	if got := allocsPerTick(t, m); got != 0 {
 		t.Fatalf("walking tick allocates %.1f times, want 0", got)
+	}
+}
+
+// TestTickZeroAllocWithTelemetry: attaching live telemetry must not
+// re-introduce steady-state allocations — the instruments are
+// pre-registered at Instrument time and the shard/cell accumulator
+// slots are reused across ticks, so the instrumented tick stays at
+// 0 allocs/op too (PopTick100kTel benches the same path at scale).
+func TestTickZeroAllocWithTelemetry(t *testing.T) {
+	m := DefaultModel()
+	m.N = 3000
+	campus := deploy.New(42)
+	p := New(campus, m, 42)
+	p.Instrument(Telemetry{Obs: obs.NewRegistry(), Trace: obs.NewTracer(0)})
+	p.Tick(1)
+	got := testing.AllocsPerRun(10, func() {
+		p.Tick(1)
+	})
+	if got != 0 {
+		t.Fatalf("instrumented tick allocates %.1f times, want 0", got)
 	}
 }

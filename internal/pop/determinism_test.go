@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fivegsim/internal/deploy"
+	"fivegsim/internal/obs"
 )
 
 // Determinism-equivalence suite, mirroring the top-level parallel_test.go
@@ -61,6 +62,25 @@ func TestPopulationRebuildEquivalence(t *testing.T) {
 	b := reportFingerprint(Run(campus, m, 42, 4))
 	if a != b {
 		t.Fatalf("same-seed rebuild differs:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+// TestPopulationTelemetryReportUnchanged pins that attaching live
+// telemetry is purely observational: the reports are byte-identical
+// with and without a registry, tracer and progress hook attached — the
+// counters read the simulation, never steer it (no RNG draws, no state
+// writes on the telemetry path) — at every worker count.
+func TestPopulationTelemetryReportUnchanged(t *testing.T) {
+	m := popModelForTest(600, 10)
+	campus := deploy.New(42)
+	base := reportFingerprint(Run(campus, m, 42, 1))
+	for _, workers := range []int{1, 4} {
+		tel := Telemetry{Obs: obs.NewRegistry(), Trace: obs.NewTracer(0), OnTick: func(int, int) {}}
+		got := reportFingerprint(RunWith(campus, m, 42, workers, tel))
+		if got != base {
+			t.Fatalf("workers %d: telemetry changed the report:\n--- off ---\n%s--- on ---\n%s",
+				workers, base, got)
+		}
 	}
 }
 

@@ -136,6 +136,10 @@ type Population struct {
 	attach    []int64 // per-cell total attached UE-ticks
 	tick      int
 
+	// Live telemetry; nil keeps the tick on the uninstrumented fast
+	// path (see telemetry.go).
+	tel *telemetry
+
 	// Tick-phase closures, built once so Tick allocates nothing.
 	workers int
 	phaseA  func(par.Range)
@@ -221,8 +225,35 @@ func New(c *deploy.Campus, m Model, seed int64) *Population {
 	p.phaseA = func(r par.Range) {
 		rr := p.shardRng[r.Index]
 		rr.Seed(p.ueKey.At(r.Index, p.tick))
+		if p.tel == nil {
+			for i := r.Lo; i < r.Hi; i++ {
+				p.stepUE(i, rr)
+			}
+			return
+		}
+		// Instrumented shard body: the same per-UE step, bracketed by
+		// before/after reads feeding the shard's own accumulator slot.
+		// prev-cell comparison counts hand-offs (skipped on the first
+		// tick, when cell[] still holds its pre-attach zero state);
+		// position comparison counts movers.
+		sc := &p.tel.ueShard[r.Index]
+		firstTick := p.tick == 0
 		for i := r.Lo; i < r.Hi; i++ {
+			prev := p.cell[i]
+			px, py := p.x[i], p.y[i]
 			p.stepUE(i, rr)
+			if p.x[i] != px || p.y[i] != py {
+				sc.moved++
+			}
+			if c := p.cell[i]; c >= 0 {
+				sc.attached++
+				if !firstTick && prev >= 0 && prev != c {
+					sc.handoffs++
+				}
+			} else {
+				sc.outage++
+			}
+			sc.prbDemand += int64(p.demandPRB[i])
 		}
 	}
 	p.phaseC = func(r par.Range) {
@@ -298,8 +329,17 @@ func (p *Population) Class(i int) traffic.Class { return p.class[i] }
 // workers goroutines (the par.Workers convention). Reports are
 // bit-identical for every workers value.
 func Run(c *deploy.Campus, m Model, seed int64, workers int) *Population {
+	return RunWith(c, m, seed, workers, Telemetry{})
+}
+
+// RunWith is Run with live telemetry attached: pop.* instruments into
+// t.Obs, per-tick spans into t.Trace, and tick progress through
+// t.OnTick. The zero Telemetry is exactly Run — the uninstrumented
+// fast path — and reports are byte-identical either way.
+func RunWith(c *deploy.Campus, m Model, seed int64, workers int, t Telemetry) *Population {
 	p := New(c, m, seed)
-	for t := 0; t < p.Model.Ticks; t++ {
+	p.Instrument(t)
+	for i := 0; i < p.Model.Ticks; i++ {
 		p.Tick(workers)
 	}
 	return p
@@ -319,6 +359,10 @@ func Run(c *deploy.Campus, m Model, seed int64, workers int) *Population {
 // every value. With workers 1 the phases run inline — the zero-alloc
 // batch loop PopTick100k measures.
 func (p *Population) Tick(workers int) {
+	var wall0 time.Time
+	if p.tel != nil {
+		wall0 = time.Now()
+	}
 	p.workers = workers
 	par.Do(workers, p.ueShards, p.phaseA)
 
@@ -354,6 +398,9 @@ func (p *Population) Tick(workers int) {
 
 	par.Do(workers, p.segs, p.phaseC)
 	p.tick++
+	if p.tel != nil {
+		p.mergeTick(p.tick-1, time.Since(wall0))
+	}
 }
 
 // stepUE is the phase-A batch body: one UE's move/demand/attach step.
@@ -426,6 +473,14 @@ func (p *Population) scheduleCell(r par.Range) {
 	}
 	granted := Schedule(demands, grants, p.budget[c], p.tick)
 
+	// Telemetry writes land in the cell's own padded slot (phase C
+	// shards by cell, so slot c belongs to this call alone).
+	var cellTel *cellCounters
+	if p.tel != nil {
+		cellTel = &p.tel.cell[c]
+		cellTel.grantedPRB += int64(granted)
+	}
+
 	band := p.cells[c].Band
 	tickSec := p.Model.TickDur.Seconds()
 	for j := 0; j < seg.Len(); j++ {
@@ -441,6 +496,9 @@ func (p *Population) scheduleCell(r par.Range) {
 		}
 		p.thrBps[ue] = thr
 		p.sumBits[ue] += thr * tickSec
+		if cellTel != nil {
+			cellTel.bits[p.class[ue]] += thr * tickSec
+		}
 	}
 	p.util[(p.tick%p.utilTicks)*len(p.cells)+c] = float64(granted) / float64(p.budget[c])
 	p.attach[c] += int64(seg.Len())

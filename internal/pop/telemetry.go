@@ -1,0 +1,161 @@
+package pop
+
+import (
+	"time"
+
+	"fivegsim/internal/obs"
+	"fivegsim/internal/traffic"
+)
+
+// Live telemetry for the population tick engine, following the arena
+// discipline of the tick itself: every instrument handle and every
+// accumulator slot is allocated once at Instrument time, the sharded
+// tick phases write only into their own padded slots, and the serial
+// end-of-tick merge folds the slots into the pre-registered obs
+// instruments in fixed (shard, cell) order. Telemetry therefore adds
+// zero allocations to the steady-state tick and never touches the RNG
+// or any report state — reports are byte-identical with a registry
+// attached or not (determinism_test.go pins this).
+//
+// Metric namespace (`pop.*`, the des./netsim. convention):
+//
+//	pop.ticks                       ticks executed
+//	pop.ue_moved                    UEs that changed position this tick
+//	pop.ue_attached / pop.ue_outage per-tick attach outcomes (UE-ticks)
+//	pop.handoffs                    serving-cell changes between ticks
+//	pop.prb_demand / pop.prb_granted  PRB-ticks demanded vs granted
+//	pop.bytes_delivered{class=…}    delivered bytes per traffic class
+//	pop.tick_wall_us                tick latency histogram (µs)
+
+// Telemetry bundles the optional observability attachments of a
+// population run. The zero value means telemetry off: the tick engine
+// stays on its instrumented-free fast path (0 allocs/op, PopTick100k).
+type Telemetry struct {
+	// Obs receives the pop.* instruments described above.
+	Obs *obs.Registry
+	// Trace receives one "pop.tick" wall-duration span per tick on the
+	// simulated timeline.
+	Trace *obs.Tracer
+	// OnTick, when non-nil, is invoked after every completed tick with
+	// the executed tick count and the planned run length — the
+	// population layer's contribution to the campaign progress stream.
+	// It runs on the goroutine that called Tick; keep it cheap.
+	OnTick func(tick, total int)
+}
+
+// enabled reports whether any attachment is set.
+func (t Telemetry) enabled() bool {
+	return t.Obs != nil || t.Trace != nil || t.OnTick != nil
+}
+
+// ueShardCounters is one UE shard's phase-A accumulator, padded to a
+// cache line so concurrent shards never write the same line.
+type ueShardCounters struct {
+	moved, attached, outage, handoffs, prbDemand int64
+	_                                            [3]int64 // pad to 64 B
+}
+
+// cellCounters is one cell's phase-C accumulator slot (cells are the
+// phase-C shard unit), padded to a cache line.
+type cellCounters struct {
+	grantedPRB int64
+	bits       [traffic.NumClasses]float64 // delivered bits per class
+	_          [4]int64                    // pad to 64 B
+}
+
+// telemetry is the attached instrument state.
+type telemetry struct {
+	opts Telemetry
+
+	ticks      *obs.Counter
+	moved      *obs.Counter
+	attached   *obs.Counter
+	outage     *obs.Counter
+	handoffs   *obs.Counter
+	prbDemand  *obs.Counter
+	prbGranted *obs.Counter
+	bytes      [traffic.NumClasses]*obs.Counter
+	tickWall   *obs.Histogram
+
+	ueShard []ueShardCounters
+	cell    []cellCounters
+	// byteCarry holds the sub-byte residue per class so the integer
+	// byte counters stay exact over long runs.
+	byteCarry [traffic.NumClasses]float64
+}
+
+// Instrument attaches (or, with the zero Telemetry, detaches) live
+// telemetry to the population. Call it before ticking; attaching mid-run
+// is safe but counts only subsequent ticks. All instruments are
+// pre-registered here so the tick path never takes the registry lock.
+func (p *Population) Instrument(t Telemetry) {
+	if !t.enabled() {
+		p.tel = nil
+		return
+	}
+	reg := t.Obs // nil-safe: handles no-op, merge cost stays negligible
+	tel := &telemetry{
+		opts:       t,
+		ticks:      reg.Counter("pop.ticks"),
+		moved:      reg.Counter("pop.ue_moved"),
+		attached:   reg.Counter("pop.ue_attached"),
+		outage:     reg.Counter("pop.ue_outage"),
+		handoffs:   reg.Counter("pop.handoffs"),
+		prbDemand:  reg.Counter("pop.prb_demand"),
+		prbGranted: reg.Counter("pop.prb_granted"),
+		tickWall:   reg.Histogram("pop.tick_wall_us", obs.DurationBuckets),
+		ueShard:    make([]ueShardCounters, len(p.ueShards)),
+		cell:       make([]cellCounters, len(p.cells)),
+	}
+	for c := traffic.Class(0); c < traffic.NumClasses; c++ {
+		tel.bytes[c] = reg.Counter("pop.bytes_delivered{class=" + c.String() + "}")
+	}
+	p.tel = tel
+}
+
+// mergeTick folds the per-shard and per-cell accumulators into the
+// registered instruments and resets them, then emits the tick span,
+// latency sample and progress callback. Serial, called once per Tick on
+// the ticking goroutine; fixed iteration order keeps counter totals
+// identical for every Workers value.
+func (p *Population) mergeTick(tickIdx int, wall time.Duration) {
+	t := p.tel
+	var moved, attached, outage, handoffs, demand int64
+	for i := range t.ueShard {
+		sc := &t.ueShard[i]
+		moved += sc.moved
+		attached += sc.attached
+		outage += sc.outage
+		handoffs += sc.handoffs
+		demand += sc.prbDemand
+		*sc = ueShardCounters{}
+	}
+	var granted int64
+	var bits [traffic.NumClasses]float64
+	for c := range t.cell {
+		cc := &t.cell[c]
+		granted += cc.grantedPRB
+		for k := range cc.bits {
+			bits[k] += cc.bits[k]
+		}
+		*cc = cellCounters{}
+	}
+	t.ticks.Inc()
+	t.moved.Add(moved)
+	t.attached.Add(attached)
+	t.outage.Add(outage)
+	t.handoffs.Add(handoffs)
+	t.prbDemand.Add(demand)
+	t.prbGranted.Add(granted)
+	for k := range bits {
+		t.byteCarry[k] += bits[k] / 8
+		whole := int64(t.byteCarry[k])
+		t.byteCarry[k] -= float64(whole)
+		t.bytes[k].Add(whole)
+	}
+	t.tickWall.Observe(float64(wall) / float64(time.Microsecond))
+	t.opts.Trace.WallSpan("pop.tick", "pop", time.Duration(tickIdx)*p.Model.TickDur, wall)
+	if t.opts.OnTick != nil {
+		t.opts.OnTick(p.tick, p.Model.Ticks)
+	}
+}

@@ -1,0 +1,124 @@
+package fivegsim
+
+import (
+	"testing"
+	"time"
+
+	"fivegsim/internal/obs"
+)
+
+// TestOnProgressEventStream: the campaign engine emits one start and one
+// finish event per experiment, serialized (the plain append below is the
+// race detector's witness), with monotone completion counts, correct
+// totals, and ETAs derivable from completed work. The stream must fold
+// cleanly into a ProgressTracker — the exact pipeline `fgobs serve`
+// runs behind /progress.
+func TestOnProgressEventStream(t *testing.T) {
+	delays := map[string]time.Duration{"Z90": 30 * time.Millisecond, "Z91": 10 * time.Millisecond, "Z92": 0}
+	for id, d := range delays {
+		id, d := id, d
+		tempExperiment(t, id, func(cfg Config) Result {
+			time.Sleep(d)
+			return Result{ID: id, Title: id}
+		})
+	}
+	cfg := QuickConfig()
+	cfg.Workers = 3
+	var events []obs.ProgressEvent
+	tracker := obs.NewProgressTracker()
+	cfg.OnProgress = func(ev obs.ProgressEvent) {
+		events = append(events, ev)
+		tracker.Observe(ev)
+	}
+	if _, err := RunExperiments(cfg, "Z90", "Z91", "Z92"); err != nil {
+		t.Fatal(err)
+	}
+
+	starts, finishes := 0, 0
+	lastCompleted := 0
+	for _, ev := range events {
+		if ev.Total != 3 {
+			t.Fatalf("event %+v has Total %d, want 3", ev, ev.Total)
+		}
+		switch ev.Kind {
+		case obs.ProgressExperimentStart:
+			starts++
+		case obs.ProgressExperimentFinish:
+			finishes++
+			if ev.Completed != lastCompleted+1 {
+				t.Fatalf("finish events out of order: completed %d after %d", ev.Completed, lastCompleted)
+			}
+			lastCompleted = ev.Completed
+			if ev.Failed {
+				t.Fatalf("experiment %s reported failed", ev.Experiment)
+			}
+			if ev.Completed < 3 && ev.ETA <= 0 {
+				t.Fatalf("mid-campaign finish carries no ETA: %+v", ev)
+			}
+			if ev.Completed == 3 && ev.ETA != 0 {
+				t.Fatalf("final finish still carries an ETA: %+v", ev)
+			}
+		}
+	}
+	if starts != 3 || finishes != 3 {
+		t.Fatalf("saw %d starts and %d finishes, want 3 each", starts, finishes)
+	}
+	snap := tracker.Snapshot()
+	if !snap.Done || snap.Completed != 3 || snap.Failed != 0 || len(snap.Running) != 0 {
+		t.Fatalf("tracker snapshot after the campaign = %+v", snap)
+	}
+}
+
+// TestOnProgressFailedFlag: a crashing experiment still finishes — with
+// Failed set — so progress consumers never hang on a wedged count.
+func TestOnProgressFailedFlag(t *testing.T) {
+	tempExperiment(t, "Z97", func(cfg Config) Result {
+		panic("synthetic crash")
+	})
+	cfg := QuickConfig()
+	var failed []string
+	cfg.OnProgress = func(ev obs.ProgressEvent) {
+		if ev.Kind == obs.ProgressExperimentFinish && ev.Failed {
+			failed = append(failed, ev.Experiment)
+		}
+	}
+	if _, err := RunExperiments(cfg, "Z97"); err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != "Z97" {
+		t.Fatalf("failed finishes %v, want [Z97]", failed)
+	}
+}
+
+// TestOnProgressPopulationTicks: the population experiments surface
+// their inner scheduling ticks through the same stream (the
+// exp_population wiring of pop.Telemetry.OnTick).
+func TestOnProgressPopulationTicks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population run is not short-mode work")
+	}
+	cfg := QuickConfig()
+	var ticks []obs.ProgressEvent
+	cfg.OnProgress = func(ev obs.ProgressEvent) {
+		if ev.Kind == obs.ProgressTick {
+			ticks = append(ticks, ev)
+		}
+	}
+	if _, err := RunExperiments(cfg, "X12"); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) == 0 {
+		t.Fatal("X12 emitted no tick events")
+	}
+	for i, ev := range ticks {
+		if ev.Experiment != "X12" || ev.Ticks == 0 {
+			t.Fatalf("tick event %+v malformed", ev)
+		}
+		if ev.Tick != i+1 {
+			t.Fatalf("tick sequence broken at %d: %+v", i, ev)
+		}
+	}
+	if last := ticks[len(ticks)-1]; last.Tick != last.Ticks {
+		t.Fatalf("last tick event %d/%d, want complete", last.Tick, last.Ticks)
+	}
+}

@@ -27,6 +27,41 @@ go test -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/
 echo "== population suite (PRB properties, determinism, N=1, alloc guards) =="
 go test -race -short ./internal/pop/ ./internal/traffic/ ./internal/deploy/
 
+echo "== live telemetry smoke (fgobs serve: /metrics + /progress on a quick campaign) =="
+# Start a served campaign on an ephemeral port, scrape it while (or just
+# after) it runs, and require population and DES series in the
+# Prometheus exposition. SIGINT is the one shutdown path — the server
+# must exit cleanly on it (context cancellation end to end).
+go build -o /tmp/fgobs_ci ./cmd/fgobs
+/tmp/fgobs_ci serve -addr 127.0.0.1:0 -quick -workers 2 -run X12,F10 >/tmp/fgobs_ci.log 2>&1 &
+FGOBS_PID=$!
+trap 'kill "$FGOBS_PID" 2>/dev/null || true' EXIT
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR=$(sed -n 's|.*serving telemetry on http://\([^ ]*\).*|\1|p' /tmp/fgobs_ci.log)
+	[ -n "$ADDR" ] && break
+	sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "fgobs serve never bound an address" >&2; cat /tmp/fgobs_ci.log >&2; exit 1; }
+for _ in $(seq 1 150); do
+	curl -fsS "http://$ADDR/metrics" > /tmp/fgobs_metrics.txt 2>/dev/null || true
+	if grep -q '^pop_' /tmp/fgobs_metrics.txt && grep -q '^des_' /tmp/fgobs_metrics.txt; then
+		break
+	fi
+	sleep 0.2
+done
+grep -q '^pop_' /tmp/fgobs_metrics.txt || { echo "no pop_ series in /metrics" >&2; cat /tmp/fgobs_ci.log >&2; exit 1; }
+grep -q '^des_' /tmp/fgobs_metrics.txt || { echo "no des_ series in /metrics" >&2; cat /tmp/fgobs_ci.log >&2; exit 1; }
+curl -fsS "http://$ADDR/progress" | grep -q '"total":2' || { echo "/progress missing campaign totals" >&2; exit 1; }
+kill -INT "$FGOBS_PID"
+if ! wait "$FGOBS_PID"; then
+	echo "fgobs serve did not exit cleanly on SIGINT" >&2
+	cat /tmp/fgobs_ci.log >&2
+	exit 1
+fi
+trap - EXIT
+echo "live telemetry serves pop_/des_ series and shuts down clean"
+
 echo "== bench smoke (quick hot-path benches vs checked-in baseline) =="
 go run ./cmd/fgperf bench -quick -out /tmp/fgperf_current.json -compare BENCH_6.json -threshold 0.15
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race faults pop bench bench-smoke ci
+.PHONY: build test race faults pop pop-dynamics bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -31,18 +31,26 @@ faults:
 pop:
 	$(GO) test -race -short ./internal/pop/ ./internal/traffic/ ./internal/deploy/
 
+# Population-dynamics property suite under the race detector: churn
+# conservation, A3 TTT/hysteresis invariants, ping-pong detection,
+# load-coupling boundedness and cancellation safety (ci.sh runs the
+# same selection).
+pop-dynamics:
+	$(GO) test -race -short -run 'Churn|A3|PingPong|LoadCoupling|Dynamics|AttachSkip|ProbeContract|EstimateETA' \
+		./internal/pop/ ./internal/handoff/ ./internal/obs/
+
 # Scheduler/telemetry overhead benches plus the per-figure benches, then
 # the fgperf harness regenerating the checked-in regression baseline
-# (BENCH_6.json; includes the campaign-scale benches, so this is slow).
+# (BENCH_8.json; includes the campaign-scale benches, so this is slow).
 bench:
 	$(GO) test -run xxx -bench=BenchmarkSchedulerObs -benchtime=2s .
 	$(GO) test -run xxx -bench=. -benchmem .
-	$(GO) run ./cmd/fgperf bench -out BENCH_6.json
+	$(GO) run ./cmd/fgperf bench -out BENCH_8.json
 
 # The quick fgperf subset gated against the checked-in baseline — the
 # same check CI's bench-smoke step runs.
 bench-smoke:
-	$(GO) run ./cmd/fgperf bench -quick -compare BENCH_6.json
+	$(GO) run ./cmd/fgperf bench -quick -compare BENCH_8.json
 
 # Serial vs parallel wall-clock of the full quick campaign.
 bench-workers:

@@ -13,8 +13,8 @@ import (
 // optionally write the JSON report, and optionally gate against a prior
 // report, exiting nonzero on regression.
 //
-//	fgperf bench -quick -out BENCH_6.json
-//	fgperf bench -quick -compare BENCH_6.json -threshold 0.15
+//	fgperf bench -quick -out BENCH_8.json
+//	fgperf bench -quick -compare BENCH_8.json -threshold 0.15
 func benchMain(args []string) {
 	fs := flag.NewFlagSet("fgperf bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "run only the cheap benchmark subset (CI smoke)")

@@ -10,7 +10,7 @@
 // internal/perf): named benchmarks, a JSON report, and a regression gate
 // against a checked-in baseline.
 //
-//	fgperf bench -quick -compare BENCH_6.json
+//	fgperf bench -quick -compare BENCH_8.json
 package main
 
 import (

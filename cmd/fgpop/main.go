@@ -9,6 +9,9 @@
 //	fgpop -n 5000 -metrics                  # print the pop.* snapshot
 //	fgpop -n 5000 -trace t.json -manifest m.json
 //	                                        # telemetry artifacts (fgbench parity)
+//	fgpop -n 5000 -churn 16 -a3 3 -loadfb   # population dynamics: birth–death
+//	                                        # churn, stateful A3 hand-off, load
+//	                                        # coupling (DESIGN.md §13)
 //
 // Reports are bit-identical for every -workers value (the internal/par
 // determinism contract; internal/pop's determinism suite enforces it),
@@ -45,6 +48,11 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect and print the pop.* metrics snapshot")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the run to this file")
 	manifestPath := flag.String("manifest", "", "write the run manifest (JSON, fgobs-show compatible) to this file")
+	churn := flag.Float64("churn", 0, "UE churn: Poisson arrivals per tick (0 = fixed population)")
+	life := flag.Float64("life", 300, "mean UE lifetime in ticks under -churn")
+	a3 := flag.Float64("a3", 0, "stateful A3 hand-off with this hysteresis in dB (0 = memoryless best-server)")
+	a3ttt := flag.Int("a3ttt", 3, "A3 time-to-trigger in ticks under -a3")
+	loadFb := flag.Bool("loadfb", false, "couple cell interference Load to measured PRB utilization (EWMA)")
 	flag.Parse()
 
 	m := pop.DefaultModel()
@@ -59,6 +67,15 @@ func main() {
 			log.Fatalf("fgpop: %v", err)
 		}
 		m.Mix = w
+	}
+	if *churn > 0 {
+		m.Churn = pop.ChurnModel{Enabled: true, ArrivalPerTick: *churn, MeanLifetimeTicks: *life}
+	}
+	if *a3 > 0 {
+		m.A3 = pop.A3Model{Enabled: true, HysteresisDB: *a3, TTTTicks: *a3ttt}
+	}
+	if *loadFb {
+		m.LoadCoupling = pop.LoadCouplingModel{Enabled: true, Alpha: 0.3}
 	}
 
 	var tel pop.Telemetry
@@ -75,7 +92,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	fmt.Printf("population: %d UEs over %.2f km² (%d NR + %d LTE cells), %d ticks × %s in %v\n",
-		p.Len(), campus.AreaKm2(), len(campus.NRCells), len(campus.LTECells),
+		p.Alive(), campus.AreaKm2(), len(campus.NRCells), len(campus.LTECells),
 		p.Ticks(), m.TickDur, elapsed.Round(time.Millisecond))
 	for _, t := range []radio.Tech{radio.NR, radio.LTE} {
 		u := p.UtilSamples(t, nil)
@@ -90,6 +107,11 @@ func main() {
 	}
 	for _, l := range p.FairnessLines() {
 		fmt.Println(l)
+	}
+	if *churn > 0 || *a3 > 0 || *loadFb {
+		for _, l := range p.DynamicsLines() {
+			fmt.Println(l)
+		}
 	}
 
 	if *metrics {

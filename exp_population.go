@@ -22,6 +22,7 @@ func init() {
 	register("X12", "Population-scale cell-load distributions (PPP campus)", runX12CellLoad)
 	register("X13", "Throughput fairness vs population size (Jain sweep)", runX13Fairness)
 	register("X14", "Paper probe as the N=1 population special case", runX14Probe)
+	register("X15", "Population dynamics: churn, A3 hand-off storms, load coupling", runX15Dynamics)
 }
 
 // popModel returns the campaign population model for a given size.
@@ -146,6 +147,69 @@ func runX13Fairness(cfg Config) Result {
 		"large N: the max-min split clamps bulk toward the common share, so Jain rises toward"))
 	res.Lines = append(res.Lines, line(
 		"the mix plateau while absolute per-UE throughput falls with contention"))
+	return res
+}
+
+// x15Model builds the X15 dynamics model: churn in steady-state balance
+// with the initial population (arrivals = N / mean lifetime), the ISP's
+// 3 dB / 324 ms A3 configuration, and damped load coupling — the full
+// pop.DefaultDynamics operating point at campaign scale.
+func x15Model(n, ticks int) pop.Model {
+	m := popModel(n, ticks)
+	m.Churn = pop.ChurnModel{Enabled: true, ArrivalPerTick: float64(n) / 300, MeanLifetimeTicks: 300}
+	m.A3 = pop.A3Model{Enabled: true, HysteresisDB: 3, TTTTicks: 3, PingPongWindowTicks: 10}
+	m.LoadCoupling = pop.LoadCouplingModel{Enabled: true, Alpha: 0.3}
+	return m
+}
+
+func runX15Dynamics(cfg Config) Result {
+	n, ticks := 8000, 120
+	if cfg.Quick {
+		n, ticks = 1200, 30
+	}
+	if cfg.Population > 0 {
+		n = cfg.Population
+	}
+	campus := deploy.New(cfg.Seed)
+	m := x15Model(n, ticks)
+	p := pop.RunWith(campus, m, cfg.Seed, cfg.Workers, popTelemetry(cfg, "X15"))
+
+	res := Result{ID: "X15", Title: "Population dynamics: churn, A3 hand-off storms, load coupling",
+		Values: map[string]float64{}}
+	res.Lines = append(res.Lines, line(
+		"population: %d UEs (arena %d), churn %.1f arrivals/tick × %g-tick mean lifetime, %d ticks",
+		n, p.Capacity(), m.Churn.ArrivalPerTick, m.Churn.MeanLifetimeTicks, ticks))
+	res.Lines = append(res.Lines, line(
+		"A3: %.0f dB hysteresis, TTT %d ticks (paper: 3 dB / 324 ms); load EWMA α=%.1f",
+		m.A3.HysteresisDB, m.A3.TTTTicks, m.LoadCoupling.Alpha))
+	for _, l := range p.DynamicsLines() {
+		res.Lines = append(res.Lines, "  "+l)
+	}
+	ho, pp := p.Handoffs()
+	ueTicks := float64(p.Alive()) * float64(ticks) // live-set approximation of exposure
+	if ueTicks > 0 {
+		perUEMin := float64(ho) / (ueTicks * p.Model.TickDur.Minutes())
+		res.Lines = append(res.Lines, line(
+			"hand-off rate ≈ %.3f /UE·min; storm peak %d HOs in one tick (%.2f%% of live set)",
+			perUEMin, p.PeakHandoffsPerTick(), 100*float64(p.PeakHandoffsPerTick())/float64(p.Alive())))
+	}
+	ppFrac := 0.0
+	if ho > 0 {
+		ppFrac = float64(pp) / float64(ho)
+	}
+	res.Lines = append(res.Lines, line(
+		"ping-pong fraction %.1f%% (A→B→A within %d ticks — the paper's cell-edge oscillation)",
+		100*ppFrac, m.A3.PingPongWindowTicks))
+	res.Lines = append(res.Lines, line(
+		"NR util %.1f%% / LTE util %.1f%% with load-coupled interference",
+		100*p.MeanUtil(radio.NR), 100*p.MeanUtil(radio.LTE)))
+	res.Values["alive"] = float64(p.Alive())
+	res.Values["births"] = float64(p.Births())
+	res.Values["deaths"] = float64(p.Deaths())
+	res.Values["handoffs"] = float64(ho)
+	res.Values["pingpongFrac"] = ppFrac
+	res.Values["stormPeak"] = float64(p.PeakHandoffsPerTick())
+	res.Values["utilNR"] = p.MeanUtil(radio.NR)
 	return res
 }
 

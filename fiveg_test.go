@@ -13,7 +13,7 @@ func TestRegistryCoversEveryTableAndFigure(t *testing.T) {
 		"F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "F12",
 		"F13", "F14", "F15", "F16", "F17", "F18", "F19", "F20", "F21", "F22", "F23",
 		"X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11",
-		"X12", "X13", "X14",
+		"X12", "X13", "X14", "X15",
 	}
 	got := map[string]bool{}
 	for _, e := range Experiments() {

@@ -175,6 +175,55 @@ func (c *Campus) BestServer(t radio.Tech, p geom.Point) (radio.Measurement, bool
 	return radio.MeasureCell(cand[bestI], p, rsrps[bestI], terms), true
 }
 
+// MeasureServing measures one specific cell (by PCI) at p against the
+// local interference field — the stateful A3 attach's view of a serving
+// cell that may no longer be the strongest. It shares BestServer's
+// shortlist fast path and fixed scratch, so it is allocation-free on the
+// bucketed area. ok=false means the cell is not measurable here: unknown
+// PCI, or the cell fell off the field-map shortlist (≥14 dB below the
+// local best — radio-link failure territory for any serving relation).
+func (c *Campus) MeasureServing(t radio.Tech, p geom.Point, pci int) (radio.Measurement, bool) {
+	f := c.fieldFor(t)
+	var cand []*radio.Cell
+	if f != nil {
+		cand = f.candidates(p)
+	}
+	if cand == nil {
+		// Outside the bucketed area (or no field map): exhaustive scan.
+		for _, m := range c.MeasureAll(t, p) {
+			if m.PCI == pci {
+				return m, true
+			}
+		}
+		return radio.Measurement{}, false
+	}
+	var rsrpArr [40]float64
+	var termArr [40]radio.InterferenceTerm
+	n := len(cand)
+	if n == 0 || n > len(rsrpArr) {
+		for _, m := range c.MeasureAll(t, p) {
+			if m.PCI == pci {
+				return m, true
+			}
+		}
+		return radio.Measurement{}, false
+	}
+	rsrps := rsrpArr[:n]
+	terms := termArr[:n]
+	at := -1
+	for i, cell := range cand {
+		rsrps[i] = c.RSRPAt(cell, p)
+		terms[i] = radio.InterferenceTerm{PCI: cell.PCI, RSRPdBm: rsrps[i], Load: cell.Load}
+		if cell.PCI == pci {
+			at = i
+		}
+	}
+	if at < 0 {
+		return radio.Measurement{}, false
+	}
+	return radio.MeasureCell(cand[at], p, rsrps[at], terms), true
+}
+
 // BestServerExhaustive is the reference implementation of BestServer: a
 // full measurement of every cell. TestBestServerMatchesExhaustive holds
 // the fast path to this one.

@@ -1,0 +1,76 @@
+package handoff
+
+import (
+	"time"
+
+	"fivegsim/internal/radio"
+)
+
+// Ping-pong analysis (§3.4): the paper attributes a large share of the
+// campaign's 407 hand-offs to cell-edge oscillation — the UE hands off
+// A→B only to return B→A moments later, paying two interruptions for no
+// lasting RSRQ gain. A ping-pong here is a hand-off that returns the UE
+// to the cell it just left within a bounded window, detected over the
+// recorded event sequence (so the same detector runs over campaign
+// results and the population layer's per-UE event streams alike).
+
+// DefaultPingPongWindow bounds the A→B→A oscillation: a return within
+// one second (10 of the paper's 100 ms measurement bins) counts as a
+// ping-pong rather than a legitimate reversal.
+const DefaultPingPongWindow = time.Second
+
+// PingPong is one detected oscillation: the UE left A for B at At−Gap
+// and returned at At.
+type PingPong struct {
+	A, B int           // the oscillating pair, serving-cell perspective
+	At   time.Duration // when the returning (B→A) hand-off fired
+	Gap  time.Duration // dwell time on B before bouncing back
+}
+
+// DetectPingPongs scans a hand-off sequence (ascending At) for A→B→A
+// oscillations within the window (≤0 uses DefaultPingPongWindow).
+// Chains are tracked per serving cell, so independently interleaved
+// sequences — the NSA phone's LTE master and NR secondary legs — do not
+// mask each other's oscillations.
+func DetectPingPongs(events []Event, window time.Duration) []PingPong {
+	if window <= 0 {
+		window = DefaultPingPongWindow
+	}
+	var out []PingPong
+	arrived := map[int]Event{} // serving PCI → the hand-off that arrived there
+	for _, e := range events {
+		if prev, ok := arrived[e.FromPCI]; ok && prev.FromPCI == e.ToPCI && e.At-prev.At <= window {
+			out = append(out, PingPong{A: e.ToPCI, B: e.FromPCI, At: e.At, Gap: e.At - prev.At})
+		}
+		delete(arrived, e.FromPCI) // the UE has left; the stale arrival must not re-match
+		arrived[e.ToPCI] = e
+	}
+	return out
+}
+
+// PingPongRate returns the fraction of hand-offs that are ping-pong
+// returns, 0 for an empty campaign.
+func PingPongRate(events []Event, window time.Duration) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	return float64(len(DetectPingPongs(events, window))) / float64(len(events))
+}
+
+// BestCandidate resolves simultaneous A3 candidates over an unsorted
+// measurement set: strongest RSRP wins and exact ties break on the lower
+// PCI — the same strict total order MeasureAll's sort and the field-map
+// fast path impose, so every layer agrees on the winner when two
+// co-sited sectors measure identically.
+func BestCandidate(ms []radio.Measurement) (radio.Measurement, bool) {
+	if len(ms) == 0 {
+		return radio.Measurement{}, false
+	}
+	best := ms[0]
+	for _, m := range ms[1:] {
+		if m.RSRPdBm > best.RSRPdBm || (m.RSRPdBm == best.RSRPdBm && m.PCI < best.PCI) {
+			best = m
+		}
+	}
+	return best, true
+}

@@ -13,9 +13,13 @@ func TestEstimateETA(t *testing.T) {
 	}{
 		{10 * time.Second, 2, 4, 10 * time.Second},
 		{10 * time.Second, 1, 4, 30 * time.Second},
-		{10 * time.Second, 0, 4, 0}, // nothing completed: no basis
-		{10 * time.Second, 4, 4, 0}, // done: nothing remains
-		{10 * time.Second, 5, 4, 0}, // over-complete: clamp to done
+		{10 * time.Second, 0, 4, 0},  // nothing completed: no basis
+		{10 * time.Second, 4, 4, 0},  // done: nothing remains
+		{10 * time.Second, 5, 4, 0},  // over-complete: clamp to done
+		{-5 * time.Second, 1, 4, 0},  // negative elapsed (clock skew): clamp to 0
+		{-1, 1, 1 << 30, 0},          // tiny negative elapsed, huge remaining: still 0
+		{0, 1, 4, 0},                 // zero elapsed: no basis yet
+		{1 << 62, 1, 1 << 40, 1<<63 - 1}, // extrapolation overflows: saturate, never wrap negative
 	}
 	for _, tc := range cases {
 		if got := EstimateETA(tc.elapsed, tc.completed, tc.total); got != tc.want {

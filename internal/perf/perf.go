@@ -35,6 +35,7 @@ func Specs() []Spec {
 		{Name: "PathSaturate", Quick: true, Fn: benchPathSaturate},
 		{Name: "Survey", Quick: true, Fn: benchSurvey},
 		{Name: "PopTick100k", Quick: true, Fn: benchPopTick100k},
+		{Name: "PopTick100kChurn", Quick: true, Fn: benchPopTick100kChurn},
 		{Name: "PopTick100kTel", Fn: benchPopTick100kTel},
 		{Name: "RunAllWorkers1", Fn: func(b *testing.B) { benchRunAll(b, 1) }},
 		{Name: "RunAllWorkers8", Fn: func(b *testing.B) { benchRunAll(b, 8) }},
@@ -110,6 +111,29 @@ func benchPopTick100k(b *testing.B) {
 	m.N = 100_000
 	c := deploy.New(1)
 	p := pop.New(c, m, 1)
+	p.Tick(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Tick(1)
+	}
+}
+
+// benchPopTick100kChurn is benchPopTick100k with the population dynamics
+// enabled — birth–death churn in steady-state balance, the stateful A3
+// hand-off machine and load-coupled interference — pricing the dynamics
+// against the static-population tick. The steady-state invariant is the
+// same: 0 allocs/op (births reuse free-listed arena slots), and the
+// -compare gate hard-fails any allocation regression.
+func benchPopTick100kChurn(b *testing.B) {
+	b.ReportAllocs()
+	m := pop.DefaultModel()
+	m.N = 100_000
+	m.Churn = pop.ChurnModel{Enabled: true, ArrivalPerTick: 333, MeanLifetimeTicks: 300}
+	m.A3 = pop.A3Model{Enabled: true, HysteresisDB: 3, TTTTicks: 3}
+	m.LoadCoupling = pop.LoadCouplingModel{Enabled: true, Alpha: 0.3}
+	c := deploy.New(1)
+	p := pop.New(c, m, 1)
+	defer p.RestoreLoads()
 	p.Tick(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

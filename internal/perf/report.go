@@ -28,7 +28,7 @@ type Host struct {
 	GoVersion string `json:"go_version"`
 }
 
-// Report is the on-disk format of a bench run (BENCH_6.json).
+// Report is the on-disk format of a bench run (BENCH_8.json).
 type Report struct {
 	Schema     int      `json:"schema"`
 	Host       Host     `json:"host"`

@@ -16,6 +16,7 @@
 package pop
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -57,6 +58,13 @@ type Model struct {
 	// MinSpeedKmh and MaxSpeedKmh bound the random-waypoint walking
 	// speed. MaxSpeedKmh 0 keeps the population static (a PPP snapshot).
 	MinSpeedKmh, MaxSpeedKmh float64
+	// Churn, A3 and LoadCoupling are the population dynamics
+	// (dynamics.go). Their zero values reproduce the pre-dynamics
+	// engine bit-for-bit: fixed population, memoryless best-server
+	// attach, static interference Load.
+	Churn        ChurnModel
+	A3           A3Model
+	LoadCoupling LoadCouplingModel
 }
 
 // DefaultModel returns the campus default: a PPP population at 5000
@@ -86,7 +94,7 @@ func (m Model) withDefaults() Model {
 	if m.MaxSpeedKmh < m.MinSpeedKmh {
 		m.MaxSpeedKmh = m.MinSpeedKmh
 	}
-	return m
+	return m.dynamicsDefaults()
 }
 
 // Population is a UE population and its preallocated tick arena. All
@@ -95,8 +103,9 @@ type Population struct {
 	Campus *deploy.Campus
 	Model  Model
 
-	n    int
-	seed int64
+	n     int // arena capacity (== initial count without churn)
+	alive int // live UEs; tracked by the churn step
+	seed  int64
 
 	// Per-UE state (SoA arena).
 	x, y      []float64 // position (m)
@@ -110,6 +119,35 @@ type Population struct {
 	cell      []int32   // serving cell dense index, -1 = outage
 	demandPRB []int32   // this tick's PRB demand (≤ cell budget)
 	grantPRB  []int32   // this tick's PRB grant
+
+	// Dynamics state (dynamics.go). bornTick is -1 on free slots and
+	// doubles as the attach-skip / lifetime anchor; a3Hold is the A3
+	// time-to-trigger counter in ticks; prevCell/lastHOTick feed the
+	// ping-pong detector; hoCount/ppCount are per-UE event totals.
+	bornTick   []int32
+	deathTick  []int32
+	a3Hold     []int32
+	prevCell   []int32
+	lastHOTick []int32
+	hoCount    []int32
+	ppCount    []int32
+	free       []int32 // free-slot stack (churn), preallocated to capacity
+	churnRng   *rand.Rand
+	churnKey   rng.Key
+	hoPrev     int64 // cumulative hand-offs at last tick boundary
+	hoPeak     int64 // largest single-tick hand-off count (storm metric)
+
+	tickBirths, tickDeaths, tickBlocked   int64
+	birthsTotal, deathsTotal, blockedTotal int64
+
+	// Load-coupling state: the campus cells' original Loads and the
+	// utilization EWMA published onto them each tick.
+	baseLoad []float64
+	loadEwma []float64
+
+	// noAttachSkip disables the moved-bitmask attach reuse (tests hold
+	// the skip path byte-identical to the always-recompute path).
+	noAttachSkip bool
 
 	// Cells, dense-indexed NR first then LTE.
 	cells  []*radio.Cell
@@ -161,21 +199,37 @@ func New(c *deploy.Campus, m Model, seed int64) *Population {
 			n = 1
 		}
 	}
-	p := &Population{Campus: c, Model: m, n: n, seed: seed}
+	capN := n
+	if m.Churn.Enabled {
+		capN = churnCapacity(n, m.Churn)
+	}
+	p := &Population{Campus: c, Model: m, n: capN, alive: n, seed: seed}
 
-	p.x = make([]float64, n)
-	p.y = make([]float64, n)
-	p.tx = make([]float64, n)
-	p.ty = make([]float64, n)
-	p.speed = make([]float64, n)
-	p.class = make([]traffic.Class, n)
-	p.demandBps = make([]float64, n)
-	p.se = make([]float64, n)
-	p.thrBps = make([]float64, n)
-	p.sumBits = make([]float64, n)
-	p.cell = make([]int32, n)
-	p.demandPRB = make([]int32, n)
-	p.grantPRB = make([]int32, n)
+	p.x = make([]float64, capN)
+	p.y = make([]float64, capN)
+	p.tx = make([]float64, capN)
+	p.ty = make([]float64, capN)
+	p.speed = make([]float64, capN)
+	p.class = make([]traffic.Class, capN)
+	p.demandBps = make([]float64, capN)
+	p.se = make([]float64, capN)
+	p.thrBps = make([]float64, capN)
+	p.sumBits = make([]float64, capN)
+	p.cell = make([]int32, capN)
+	p.demandPRB = make([]int32, capN)
+	p.grantPRB = make([]int32, capN)
+
+	p.bornTick = make([]int32, capN)
+	p.deathTick = make([]int32, capN)
+	p.a3Hold = make([]int32, capN)
+	p.prevCell = make([]int32, capN)
+	p.lastHOTick = make([]int32, capN)
+	p.hoCount = make([]int32, capN)
+	p.ppCount = make([]int32, capN)
+	for i := range p.prevCell {
+		p.prevCell[i] = -1
+		p.cell[i] = -1 // unattached until the first tick resolves
+	}
 
 	p.cells = append(append([]*radio.Cell(nil), c.NRCells...), c.LTECells...)
 	p.nNR = len(c.NRCells)
@@ -189,21 +243,28 @@ func New(c *deploy.Campus, m Model, seed int64) *Population {
 	ncells := len(p.cells)
 	p.cnt = make([]int32, ncells+1)
 	p.bounds = make([]int, ncells+2)
-	p.order = make([]int32, n)
-	p.schedDemand = make([]int32, n)
-	p.schedGrant = make([]int32, n)
+	p.order = make([]int32, capN)
+	p.schedDemand = make([]int32, capN)
+	p.schedGrant = make([]int32, capN)
 	p.segs = make([]par.Range, 0, ncells)
 
 	p.utilTicks = m.Ticks
 	p.util = make([]float64, p.utilTicks*ncells)
 	p.attach = make([]int64, ncells)
 
+	p.baseLoad = make([]float64, ncells)
+	p.loadEwma = make([]float64, ncells)
+	for i, cell := range p.cells {
+		p.baseLoad[i] = cell.Load
+		p.loadEwma[i] = cell.Load
+	}
+
 	c.WarmFieldMaps()
-	c.PlacePPP(placeRng, p.x, p.y)
-	copy(p.tx, p.x)
-	copy(p.ty, p.y)
+	c.PlacePPP(placeRng, p.x[:n], p.y[:n])
+	copy(p.tx[:n], p.x[:n])
+	copy(p.ty[:n], p.y[:n])
 	classRng := src.Stream("pop.class")
-	for i := range p.class {
+	for i := 0; i < n; i++ {
 		p.class[i] = m.Mix.Sample(classRng)
 	}
 	if m.MaxSpeedKmh > 0 {
@@ -214,8 +275,25 @@ func New(c *deploy.Campus, m Model, seed int64) *Population {
 			p.speed[i] = drawSpeedKmh(walkRng, m) / 3.6
 		}
 	}
+	if m.Churn.Enabled {
+		// Slots [n, capN) start free, stacked so the first births claim
+		// the lowest indices; initial UEs draw their lifetimes from a
+		// dedicated init stream so enabling churn does not perturb the
+		// placement/class/walk draws above.
+		p.free = make([]int32, 0, capN)
+		for i := capN - 1; i >= n; i-- {
+			p.bornTick[i] = -1
+			p.free = append(p.free, int32(i))
+		}
+		initRng := src.Stream("pop.churn.init")
+		for i := 0; i < n; i++ {
+			p.deathTick[i] = expTicks(initRng, m.Churn.MeanLifetimeTicks)
+		}
+		p.churnKey = src.Key("pop.churn")
+		p.churnRng = src.Stream("pop.churn.tick")
+	}
 
-	p.ueShards = par.ShardSize(n, popShardSize)
+	p.ueShards = par.ShardSize(capN, popShardSize)
 	p.ueKey = src.Key("pop.ue")
 	p.shardRng = make([]*rand.Rand, len(p.ueShards))
 	for i := range p.shardRng {
@@ -227,6 +305,9 @@ func New(c *deploy.Campus, m Model, seed int64) *Population {
 		rr.Seed(p.ueKey.At(r.Index, p.tick))
 		if p.tel == nil {
 			for i := r.Lo; i < r.Hi; i++ {
+				if p.bornTick[i] < 0 {
+					continue // free churn slot
+				}
 				p.stepUE(i, rr)
 			}
 			return
@@ -235,12 +316,17 @@ func New(c *deploy.Campus, m Model, seed int64) *Population {
 		// before/after reads feeding the shard's own accumulator slot.
 		// prev-cell comparison counts hand-offs (skipped on the first
 		// tick, when cell[] still holds its pre-attach zero state);
-		// position comparison counts movers.
+		// position comparison counts movers; ping-pong deltas come off
+		// the per-UE counter the A3 state machine maintains.
 		sc := &p.tel.ueShard[r.Index]
 		firstTick := p.tick == 0
 		for i := r.Lo; i < r.Hi; i++ {
+			if p.bornTick[i] < 0 {
+				continue // free churn slot
+			}
 			prev := p.cell[i]
 			px, py := p.x[i], p.y[i]
+			pp := p.ppCount[i]
 			p.stepUE(i, rr)
 			if p.x[i] != px || p.y[i] != py {
 				sc.moved++
@@ -252,6 +338,9 @@ func New(c *deploy.Campus, m Model, seed int64) *Population {
 				}
 			} else {
 				sc.outage++
+			}
+			if p.ppCount[i] != pp {
+				sc.pingpongs++
 			}
 			sc.prbDemand += int64(p.demandPRB[i])
 		}
@@ -290,7 +379,8 @@ func roadWaypoint(c *deploy.Campus, r *rand.Rand) geom.Point {
 	return c.Roads[len(c.Roads)-1].B
 }
 
-// Len returns the population size.
+// Len returns the arena size — the population size without churn, the
+// slot capacity with it (Alive counts the live UEs).
 func (p *Population) Len() int { return p.n }
 
 // Ticks returns how many ticks have executed.
@@ -298,10 +388,18 @@ func (p *Population) Ticks() int { return p.tick }
 
 // Place pins UE i at pos and cancels its current waypoint (the probe
 // harness teleports its single UE along surveyed positions this way).
+// A teleport is a fresh camp: the serving-cell state and the A3
+// time-to-trigger reset, and the attach-skip cache is invalidated, so
+// the next tick resolves the best server at the new position exactly as
+// the survey pipeline does.
 func (p *Population) Place(i int, pos geom.Point) {
 	p.x[i], p.y[i] = pos.X, pos.Y
 	p.tx[i], p.ty[i] = pos.X, pos.Y
 	p.speed[i] = 0
+	p.cell[i] = -1
+	p.se[i] = 0
+	p.a3Hold[i] = 0
+	p.bornTick[i] = int32(p.tick) // force attach resolution next tick
 }
 
 // ServingPCI returns UE i's serving cell PCI after the last tick, or -1
@@ -337,12 +435,29 @@ func Run(c *deploy.Campus, m Model, seed int64, workers int) *Population {
 // t.OnTick. The zero Telemetry is exactly Run — the uninstrumented
 // fast path — and reports are byte-identical either way.
 func RunWith(c *deploy.Campus, m Model, seed int64, workers int, t Telemetry) *Population {
+	p, _ := RunContext(context.Background(), c, m, seed, workers, t)
+	return p
+}
+
+// RunContext is RunWith with cancellation: the context is checked at
+// every tick boundary, so a canceled campaign stops within one tick. The
+// returned population holds the completed ticks' state — partial reports
+// are byte-identical to a run planned for exactly that many ticks, the
+// free-list conservation invariant holds, and the campus's original
+// interference Loads are restored even on the early-exit path. The error
+// is the context's (wrapped verbatim) when the run was cut short, nil
+// when every tick executed.
+func RunContext(ctx context.Context, c *deploy.Campus, m Model, seed int64, workers int, t Telemetry) (*Population, error) {
 	p := New(c, m, seed)
 	p.Instrument(t)
+	defer p.RestoreLoads()
 	for i := 0; i < p.Model.Ticks; i++ {
+		if err := ctx.Err(); err != nil {
+			return p, err
+		}
 		p.Tick(workers)
 	}
-	return p
+	return p, nil
 }
 
 // Tick advances the population by one scheduling interval:
@@ -364,6 +479,9 @@ func (p *Population) Tick(workers int) {
 		wall0 = time.Now()
 	}
 	p.workers = workers
+	if p.Model.Churn.Enabled {
+		p.churnStep()
+	}
 	par.Do(workers, p.ueShards, p.phaseA)
 
 	// Phase B: counting sort by serving cell. Bucket ncells collects the
@@ -397,6 +515,21 @@ func (p *Population) Tick(workers int) {
 	p.segs = par.Segments(p.bounds[:ncells+1], p.segs[:0])
 
 	par.Do(workers, p.segs, p.phaseC)
+	if p.Model.LoadCoupling.Enabled {
+		p.coupleLoads()
+	}
+	if p.Model.A3.Enabled {
+		// Hand-off-storm bookkeeping: per-tick hand-off count off the
+		// per-UE counters (serial O(N) fold, fixed order).
+		var total int64
+		for i := 0; i < p.n; i++ {
+			total += int64(p.hoCount[i])
+		}
+		if d := total - p.hoPrev; d > p.hoPeak {
+			p.hoPeak = d
+		}
+		p.hoPrev = total
+	}
 	p.tick++
 	if p.tel != nil {
 		p.mergeTick(p.tick-1, time.Since(wall0))
@@ -407,6 +540,7 @@ func (p *Population) Tick(workers int) {
 // Writes are confined to UE i's slots.
 func (p *Population) stepUE(i int, r *rand.Rand) {
 	m := &p.Model
+	moved := false
 	if m.MaxSpeedKmh > 0 && p.speed[i] > 0 {
 		pos := geom.Point{X: p.x[i], Y: p.y[i]}
 		tgt := geom.Point{X: p.tx[i], Y: p.ty[i]}
@@ -421,16 +555,35 @@ func (p *Population) stepUE(i int, r *rand.Rand) {
 			norm := math.Hypot(dir.X, dir.Y)
 			pos = pos.Add(dir.Scale(step / norm))
 		}
+		moved = pos.X != p.x[i] || pos.Y != p.y[i]
 		p.x[i], p.y[i] = pos.X, pos.Y
 	}
 
 	d := traffic.OfferedBps(p.class[i], r)
 	p.demandBps[i] = d
-	p.cell[i] = -1
-	p.se[i] = 0
 	p.demandPRB[i] = 0
 	p.grantPRB[i] = 0
 	p.thrBps[i] = 0
+
+	if m.A3.Enabled {
+		p.a3Attach(i, d)
+		return
+	}
+
+	if p.canReuseAttach(i, moved) {
+		// Unmoved UE on the memoryless path: BestServer is a pure
+		// function of position and the (static) cell Loads, so last
+		// tick's serving cell and SE are still exact — skip the field-map
+		// lookups entirely. Demand still varies tick to tick, so the
+		// PRB conversion reruns.
+		if ci := p.cell[i]; ci >= 0 {
+			p.setDemandPRB(i, int(ci), d)
+		}
+		return
+	}
+
+	p.cell[i] = -1
+	p.se[i] = 0
 
 	pos := geom.Point{X: p.x[i], Y: p.y[i]}
 	serving, ok := p.Campus.BestServer(radio.NR, pos)
@@ -445,10 +598,29 @@ func (p *Population) stepUE(i int, r *rand.Rand) {
 	ci := p.pciIdx[serving.PCI]
 	p.cell[i] = ci
 	p.se[i] = serving.SE
+	p.setDemandPRB(i, int(ci), d)
+}
+
+// canReuseAttach reports whether UE i's cached serving cell and SE from
+// the previous tick are still exact, making the attach lookups skippable.
+// True only when the UE did not move this tick, a previous tick resolved
+// the cache (tick > 0 and the slot was not born or teleported this tick),
+// and nothing position-independent can shift the answer: load coupling
+// changes SINR between ticks, and the A3 path never reaches here (its TTT
+// counter must observe every tick).
+func (p *Population) canReuseAttach(i int, moved bool) bool {
+	return !moved && !p.noAttachSkip &&
+		p.tick > 0 && p.bornTick[i] != int32(p.tick) &&
+		!p.Model.LoadCoupling.Enabled
+}
+
+// setDemandPRB converts UE i's offered rate d into this tick's PRB demand
+// against serving cell ci's band, clamped to the cell budget.
+func (p *Population) setDemandPRB(i, ci int, d float64) {
 	if d <= 0 {
 		return
 	}
-	perPRB := p.cells[ci].Band.Rate(serving.SE, 1)
+	perPRB := p.cells[ci].Band.Rate(p.se[i], 1)
 	if perPRB <= 0 {
 		return
 	}

@@ -50,15 +50,34 @@ func (p *Population) MeanUtil(t radio.Tech) float64 {
 }
 
 // PerUEThroughputBps returns each UE's mean delivered rate over the run
-// (total delivered bits / elapsed time). Index i is UE i.
+// (total delivered bits / elapsed time). Without churn index i is UE i
+// and elapsed time is the whole run; with churn the slice covers the
+// currently live UEs in slot order, each normalized by its own lifetime
+// so short-lived arrivals are not diluted by ticks before their birth.
 func (p *Population) PerUEThroughputBps() []float64 {
-	out := make([]float64, p.n)
-	elapsed := float64(p.tick) * p.Model.TickDur.Seconds()
-	if elapsed <= 0 {
+	tickSec := p.Model.TickDur.Seconds()
+	if !p.Model.Churn.Enabled {
+		out := make([]float64, p.n)
+		elapsed := float64(p.tick) * tickSec
+		if elapsed <= 0 {
+			return out
+		}
+		for i, bits := range p.sumBits {
+			out[i] = bits / elapsed
+		}
 		return out
 	}
-	for i, bits := range p.sumBits {
-		out[i] = bits / elapsed
+	out := make([]float64, 0, p.alive)
+	for i := 0; i < p.n; i++ {
+		if p.bornTick[i] < 0 {
+			continue
+		}
+		life := float64(p.tick-int(p.bornTick[i])) * tickSec
+		if life <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, p.sumBits[i]/life)
 	}
 	return out
 }
@@ -138,7 +157,7 @@ func (p *Population) CellLoadLines() []string {
 func (p *Population) FairnessLines() []string {
 	thr := p.PerUEThroughputBps()
 	return []string{
-		fmt.Sprintf("fairness n=%d jain=%.9f", p.n, JainIndex(thr)),
+		fmt.Sprintf("fairness n=%d jain=%.9f", len(thr), JainIndex(thr)),
 		fmt.Sprintf("throughput_mbps p10=%.6f p50=%.6f p90=%.6f",
 			Quantile(thr, 0.10)/1e6, Quantile(thr, 0.50)/1e6, Quantile(thr, 0.90)/1e6),
 	}

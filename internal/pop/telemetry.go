@@ -23,6 +23,9 @@ import (
 //	pop.ue_moved                    UEs that changed position this tick
 //	pop.ue_attached / pop.ue_outage per-tick attach outcomes (UE-ticks)
 //	pop.handoffs                    serving-cell changes between ticks
+//	pop.pingpongs                   A3 ping-pong hand-offs (A→B→A in window)
+//	pop.births / pop.deaths         churn arrivals and departures
+//	pop.births_blocked              arrivals dropped on a full arena
 //	pop.prb_demand / pop.prb_granted  PRB-ticks demanded vs granted
 //	pop.bytes_delivered{class=…}    delivered bytes per traffic class
 //	pop.tick_wall_us                tick latency histogram (µs)
@@ -51,8 +54,8 @@ func (t Telemetry) enabled() bool {
 // ueShardCounters is one UE shard's phase-A accumulator, padded to a
 // cache line so concurrent shards never write the same line.
 type ueShardCounters struct {
-	moved, attached, outage, handoffs, prbDemand int64
-	_                                            [3]int64 // pad to 64 B
+	moved, attached, outage, handoffs, pingpongs, prbDemand int64
+	_                                                       [2]int64 // pad to 64 B
 }
 
 // cellCounters is one cell's phase-C accumulator slot (cells are the
@@ -72,6 +75,10 @@ type telemetry struct {
 	attached   *obs.Counter
 	outage     *obs.Counter
 	handoffs   *obs.Counter
+	pingpongs  *obs.Counter
+	births     *obs.Counter
+	deaths     *obs.Counter
+	blocked    *obs.Counter
 	prbDemand  *obs.Counter
 	prbGranted *obs.Counter
 	bytes      [traffic.NumClasses]*obs.Counter
@@ -101,6 +108,10 @@ func (p *Population) Instrument(t Telemetry) {
 		attached:   reg.Counter("pop.ue_attached"),
 		outage:     reg.Counter("pop.ue_outage"),
 		handoffs:   reg.Counter("pop.handoffs"),
+		pingpongs:  reg.Counter("pop.pingpongs"),
+		births:     reg.Counter("pop.births"),
+		deaths:     reg.Counter("pop.deaths"),
+		blocked:    reg.Counter("pop.births_blocked"),
 		prbDemand:  reg.Counter("pop.prb_demand"),
 		prbGranted: reg.Counter("pop.prb_granted"),
 		tickWall:   reg.Histogram("pop.tick_wall_us", obs.DurationBuckets),
@@ -120,13 +131,14 @@ func (p *Population) Instrument(t Telemetry) {
 // identical for every Workers value.
 func (p *Population) mergeTick(tickIdx int, wall time.Duration) {
 	t := p.tel
-	var moved, attached, outage, handoffs, demand int64
+	var moved, attached, outage, handoffs, pingpongs, demand int64
 	for i := range t.ueShard {
 		sc := &t.ueShard[i]
 		moved += sc.moved
 		attached += sc.attached
 		outage += sc.outage
 		handoffs += sc.handoffs
+		pingpongs += sc.pingpongs
 		demand += sc.prbDemand
 		*sc = ueShardCounters{}
 	}
@@ -145,6 +157,10 @@ func (p *Population) mergeTick(tickIdx int, wall time.Duration) {
 	t.attached.Add(attached)
 	t.outage.Add(outage)
 	t.handoffs.Add(handoffs)
+	t.pingpongs.Add(pingpongs)
+	t.births.Add(p.tickBirths)
+	t.deaths.Add(p.tickDeaths)
+	t.blocked.Add(p.tickBlocked)
 	t.prbDemand.Add(demand)
 	t.prbGranted.Add(granted)
 	for k := range bits {

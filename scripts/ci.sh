@@ -27,6 +27,10 @@ go test -short -run 'Fault|Injection|Plan|Scenario|Ctx|Cancellation' ./internal/
 echo "== population suite (PRB properties, determinism, N=1, alloc guards) =="
 go test -race -short ./internal/pop/ ./internal/traffic/ ./internal/deploy/
 
+echo "== pop-dynamics property suite (churn conservation, A3 invariants, ping-pong, cancellation) =="
+go test -race -short -run 'Churn|A3|PingPong|LoadCoupling|Dynamics|AttachSkip|ProbeContract|EstimateETA' \
+	./internal/pop/ ./internal/handoff/ ./internal/obs/
+
 echo "== live telemetry smoke (fgobs serve: /metrics + /progress on a quick campaign) =="
 # Start a served campaign on an ephemeral port, scrape it while (or just
 # after) it runs, and require population and DES series in the
@@ -63,7 +67,7 @@ trap - EXIT
 echo "live telemetry serves pop_/des_ series and shuts down clean"
 
 echo "== bench smoke (quick hot-path benches vs checked-in baseline) =="
-go run ./cmd/fgperf bench -quick -out /tmp/fgperf_current.json -compare BENCH_6.json -threshold 0.15
+go run ./cmd/fgperf bench -quick -out /tmp/fgperf_current.json -compare BENCH_8.json -threshold 0.15
 
 echo "== bench gate self-check (must trip on a synthetic regression) =="
 # Doctor a baseline from the run above: same host fingerprint, but every

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race faults pop pop-dynamics bench bench-smoke ci
+.PHONY: build test race faults pop pop-dynamics serve serve-test bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,17 @@ pop:
 pop-dynamics:
 	$(GO) test -race -short -run 'Churn|A3|PingPong|LoadCoupling|Dynamics|AttachSkip|ProbeContract|EstimateETA' \
 		./internal/pop/ ./internal/handoff/ ./internal/obs/
+
+# Launch the fgserve campaign service on the default address
+# (127.0.0.1:9237). POST specs to /campaigns; ctrl-c drains.
+serve:
+	$(GO) run ./cmd/fgserve
+
+# Campaign-service suite under the race detector: spec validation,
+# paper-order streaming, two-tenant fairness, mid-campaign cancel and
+# the HTTP surface end to end.
+serve-test:
+	$(GO) test -race ./internal/serve/
 
 # Scheduler/telemetry overhead benches plus the per-figure benches, then
 # the fgperf harness regenerating the checked-in regression baseline

@@ -23,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect and print the metrics snapshot after each experiment")
 	tracePath := flag.String("trace", "", "write a Chrome-trace JSON of the campaign to this file")
 	manifestPath := flag.String("manifest", "", "write the run manifests (JSON array) to this file")
+	resultsPath := flag.String("results", "", "stream results to this file as NDJSON (one fivegsim.result/v1 object per line — the same encoding fgserve serves)")
 	profile := flag.Bool("profile", false, "measure per-event callback wall time (adds overhead)")
 	faults := flag.String("faults", "", "arm a fault-scenario preset on every run ('list' to enumerate)")
 	population := flag.Int("population", 0, "override the population-experiment UE count (X12–X14; 0 = built-in sizing)")
@@ -98,10 +100,27 @@ func main() {
 		// that run alone; cfg.Obs accumulates the campaign-wide merge.
 		cfg.Obs = obs.NewRegistry()
 	}
+	var resultsEnc *json.Encoder
+	var resultsFile *os.File
+	if *resultsPath != "" {
+		f, err := os.Create(*resultsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fgbench:", err)
+			os.Exit(1)
+		}
+		resultsFile = f
+		resultsEnc = json.NewEncoder(f)
+	}
 	// Results stream through OnResult in paper order as workers finish.
 	manifests := make([]obs.RunManifest, 0, 32)
 	failed := 0
 	cfg.OnResult = func(res fivegsim.Result) {
+		if resultsEnc != nil {
+			if err := resultsEnc.Encode(res); err != nil {
+				fmt.Fprintln(os.Stderr, "fgbench:", err)
+				os.Exit(1)
+			}
+		}
 		fmt.Print(res.Report())
 		fmt.Printf("  (%.1fs)\n\n", res.Manifest.WallTime.Seconds())
 		if res.Err != nil {
@@ -140,6 +159,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fgbench: %v; try -list\n", err)
 		os.Exit(1)
+	}
+	if resultsFile != nil {
+		if err := resultsFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "fgbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(results), *resultsPath)
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, tracer); err != nil {

@@ -11,23 +11,25 @@ import (
 	"syscall"
 	"time"
 
-	"fivegsim"
 	"fivegsim/internal/obs"
+	"fivegsim/internal/serve"
 )
 
-// cmdServe runs a campaign behind a live telemetry endpoint: /metrics
-// (Prometheus text format), /metrics.json, /progress and /trace fill in
-// as experiments complete (the engine merges each experiment's
-// sub-registry at the paper-order frontier). After the campaign the
-// server keeps answering scrapes until SIGINT/SIGTERM — context
-// cancellation is the one shutdown path — unless -exit asked for an
-// immediate clean exit.
+// cmdServe runs a campaign behind a live telemetry endpoint. It
+// delegates to internal/serve — the same service cmd/fgserve runs — by
+// submitting one campaign built from the flags and streaming its
+// events to stdout, so the endpoint exposes the full campaign API
+// (/campaigns, NDJSON streams, manifests) alongside /metrics,
+// /metrics.json, /progress and /trace. After the campaign the server
+// keeps answering scrapes until SIGINT/SIGTERM — context cancellation
+// is the one shutdown path — unless -exit asked for an immediate clean
+// exit.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9137", "listen address (port 0 picks a free port)")
 	quick := fs.Bool("quick", false, "reduced-duration runs")
 	seed := fs.Int64("seed", 42, "experiment seed")
-	workers := fs.Int("workers", 1, "campaign-engine goroutines: 0 = all cores, 1 = serial")
+	workers := fs.Int("workers", 1, "campaign worker pool: 0 = all cores, 1 = serial")
 	run := fs.String("run", "", "comma-separated experiment IDs (default: all)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	exit := fs.Bool("exit", false, "exit when the campaign finishes instead of serving until interrupted")
@@ -40,16 +42,16 @@ func cmdServe(args []string) {
 	defer stop()
 
 	reg := obs.NewRegistry()
-	tracker := obs.NewProgressTracker()
 	tracer := obs.NewTracer(0)
-	srv, err := obs.Serve(ctx, *addr, obs.ServeOptions{
-		Registry: reg, Progress: tracker, Tracer: tracer, Pprof: *pprofOn,
+	svc := serve.New(serve.Options{
+		PoolWorkers: *workers, Registry: reg, Tracer: tracer, Pprof: *pprofOn,
 	})
+	srv, err := svc.Start(ctx, *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fgobs:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("fgobs: serving telemetry on http://%s (/metrics /metrics.json /progress /trace)\n", srv.Addr)
+	fmt.Printf("fgobs: serving telemetry on http://%s (/metrics /metrics.json /progress /trace /campaigns)\n", srv.Addr)
 
 	var ids []string
 	if *run != "" {
@@ -59,39 +61,42 @@ func cmdServe(args []string) {
 			}
 		}
 	}
-	cfg := fivegsim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Obs: reg, Trace: tracer}
-	cfg.OnProgress = func(ev obs.ProgressEvent) {
-		tracker.Observe(ev)
-		switch ev.Kind {
-		case obs.ProgressExperimentStart:
-			fmt.Printf("fgobs: [%d/%d] %s started\n", ev.Completed, ev.Total, ev.Experiment)
-		case obs.ProgressExperimentFinish:
-			status := "done"
-			if ev.Failed {
-				status = "FAILED"
-			}
-			fmt.Printf("fgobs: [%d/%d] %s %s (elapsed %s, eta %s)\n", ev.Completed, ev.Total,
-				ev.Experiment, status, ev.Elapsed.Round(time.Second), ev.ETA.Round(time.Second))
-		}
-	}
-	results, err := fivegsim.RunExperimentsContext(ctx, cfg, ids...)
-	switch {
-	case errors.Is(err, context.Canceled):
-		fmt.Println("fgobs: campaign interrupted; shutting down")
-	case err != nil:
+	st, err := svc.Submit(serve.Spec{
+		Schema: serve.SpecSchemaV1, Name: "fgobs serve",
+		Experiments: ids, Seeds: []int64{*seed}, Quick: *quick,
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fgobs: %v; try fgbench -list\n", err)
 		stop()
 		srv.Wait()
 		os.Exit(1)
-	default:
-		failed := 0
-		for _, r := range results {
-			if r.Err != nil {
-				failed++
-			}
+	}
+
+	streamErr := svc.Stream(ctx, st.ID, func(ev serve.Event) error {
+		if ev.Kind != "progress" || ev.Progress == nil {
+			return nil
 		}
+		p := ev.Progress
+		switch p.Kind {
+		case obs.ProgressExperimentStart:
+			fmt.Printf("fgobs: [%d/%d] %s started\n", p.Completed, p.Total, p.Experiment)
+		case obs.ProgressExperimentFinish:
+			status := "done"
+			if p.Failed {
+				status = "FAILED"
+			}
+			fmt.Printf("fgobs: [%d/%d] %s %s (elapsed %s, eta %s)\n", p.Completed, p.Total,
+				p.Experiment, status, p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+		}
+		return nil
+	})
+	final, _ := svc.Status(st.ID)
+	switch {
+	case errors.Is(streamErr, context.Canceled) || final.State == serve.StateCanceled:
+		fmt.Println("fgobs: campaign interrupted; shutting down")
+	default:
 		fmt.Printf("fgobs: campaign complete: %d experiments, %d failed; metrics stay live\n",
-			len(results), failed)
+			final.Completed, final.Failed)
 		if !*exit {
 			fmt.Println("fgobs: serving until interrupted (ctrl-c to exit)")
 		}

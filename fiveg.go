@@ -135,6 +135,30 @@ func DefaultConfig() Config { return Config{Seed: 42} }
 // QuickConfig returns the reduced-duration configuration.
 func QuickConfig() Config { return Config{Seed: 42, Quick: true} }
 
+// Validate checks the config at the API boundary and returns a typed
+// *InvalidConfigError — matchable with errors.Is(err, ErrInvalidConfig)
+// — on the first problem found: a negative worker count, a negative
+// population override, or a fault plan that fails fault.Plan.Validate
+// (the underlying fault.ErrInvalidPlan stays on the error chain). Every
+// Run* entry point calls Validate, and so does the fgserve admission
+// path, so a bad spec fails fast with the same error shape everywhere.
+func (cfg Config) Validate() error {
+	if cfg.Workers < 0 {
+		return &InvalidConfigError{Field: "Workers",
+			Reason: fmt.Sprintf("negative worker count %d (0 = all cores, 1 = serial)", cfg.Workers)}
+	}
+	if cfg.Population < 0 {
+		return &InvalidConfigError{Field: "Population",
+			Reason: fmt.Sprintf("negative population override %d", cfg.Population)}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return &InvalidConfigError{Field: "Faults", Reason: "invalid fault plan", Cause: err}
+		}
+	}
+	return nil
+}
+
 // Result is the outcome of one experiment.
 type Result struct {
 	ID    string
@@ -178,7 +202,34 @@ var (
 	// panicked; errors.As against *ExperimentPanicError recovers the
 	// panic value and stack.
 	ErrExperimentPanic = errors.New("fivegsim: experiment panicked")
+	// ErrInvalidConfig is wrapped by every Config.Validate failure;
+	// errors.As against *InvalidConfigError recovers the offending
+	// field.
+	ErrInvalidConfig = errors.New("fivegsim: invalid config")
 )
+
+// InvalidConfigError reports a Config field that fails validation.
+// Cause, when non-nil, is the underlying error (a fault-plan failure
+// keeps fault.ErrInvalidPlan matchable through the chain).
+type InvalidConfigError struct {
+	Field  string
+	Reason string
+	Cause  error
+}
+
+func (e *InvalidConfigError) Error() string {
+	s := fmt.Sprintf("fivegsim: invalid config: %s: %s", e.Field, e.Reason)
+	if e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
+}
+
+// Is matches ErrInvalidConfig.
+func (e *InvalidConfigError) Is(target error) bool { return target == ErrInvalidConfig }
+
+// Unwrap exposes the underlying cause (nil for field-only failures).
+func (e *InvalidConfigError) Unwrap() error { return e.Cause }
 
 // UnknownExperimentError reports a request for an id the registry does
 // not hold.
@@ -260,18 +311,44 @@ func orderKey(id string) int {
 	}
 }
 
-// Run executes the experiment with the given ID.
+// ValidateExperiments checks every id against the registry and returns
+// a typed *UnknownExperimentError — matchable with errors.Is(err,
+// ErrUnknownExperiment) — for the first id the registry does not hold.
+// It is the same admission check every Run* entry point performs;
+// services (cmd/fgserve) call it at the boundary so a bad spec fails
+// before it is queued.
+func ValidateExperiments(ids ...string) error {
+	known := make(map[string]bool, len(registry))
+	for _, e := range registry {
+		known[e.ID] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			return &UnknownExperimentError{ID: id}
+		}
+	}
+	return nil
+}
+
+// Run executes the experiment with the given ID. It is a convenience
+// wrapper over RunContext with a background context — new callers
+// should prefer the context-first form, which adds cancellation; this
+// wrapper exists for callers with nothing to cancel.
 func Run(id string, cfg Config) (Result, error) {
 	return RunContext(context.Background(), id, cfg)
 }
 
-// RunContext is Run with cancellation: a context canceled before the
-// experiment starts returns ctx.Err() (wrapped, so errors.Is matches);
-// an experiment already running is not interrupted. An unknown id is an
-// *UnknownExperimentError.
+// RunContext is the canonical single-experiment entry point: a context
+// canceled before the experiment starts returns ctx.Err() (wrapped, so
+// errors.Is matches); an experiment already running is not interrupted.
+// An unknown id is an *UnknownExperimentError; a config that fails
+// Config.Validate is an *InvalidConfigError.
 func RunContext(ctx context.Context, id string, cfg Config) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, fmt.Errorf("fivegsim: run canceled: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	for _, e := range registry {
 		if e.ID == id {
@@ -282,26 +359,33 @@ func RunContext(ctx context.Context, id string, cfg Config) (Result, error) {
 }
 
 // RunAll executes every experiment and returns the results in paper
-// order. With cfg.Workers ≠ 1 the experiments are dispatched across a
-// worker pool; the returned slice, each Result's Lines and Values, and
-// the merged cfg.Obs instrument totals are identical for every worker
-// count.
+// order. It is a convenience wrapper over RunExperimentsContext with a
+// background context and no id filter; a config that fails
+// Config.Validate yields nil. New callers should prefer
+// RunExperimentsContext, the canonical implementation, which adds
+// cancellation and surfaces validation errors. With cfg.Workers ≠ 1 the
+// experiments are dispatched across a worker pool; the returned slice,
+// each Result's Lines and Values, and the merged cfg.Obs instrument
+// totals are identical for every worker count.
 func RunAll(cfg Config) []Result {
-	res, _ := RunExperiments(cfg) // no ids, background context ⇒ cannot fail
+	res, _ := RunExperiments(cfg) // no ids, background context ⇒ only Validate can fail
 	return res
 }
 
 // RunExperiments executes the named experiments — all of them when ids
-// is empty — across up to cfg.Workers goroutines and returns the results
-// in paper order regardless of scheduling. It is RunExperimentsContext
-// with a background context.
+// is empty — and returns the results in paper order. It is a
+// convenience wrapper over RunExperimentsContext with a background
+// context; new callers should prefer the context-first form, which adds
+// cancellation.
 func RunExperiments(cfg Config, ids ...string) ([]Result, error) {
 	return RunExperimentsContext(context.Background(), cfg, ids...)
 }
 
-// RunExperimentsContext executes the named experiments — all of them
-// when ids is empty — across up to cfg.Workers goroutines and returns
-// the results in paper order regardless of scheduling.
+// RunExperimentsContext is the canonical campaign entry point: it
+// executes the named experiments — all of them when ids is empty —
+// across up to cfg.Workers goroutines and returns the results in paper
+// order regardless of scheduling. A config that fails Config.Validate
+// returns a typed *InvalidConfigError before anything runs.
 //
 // When cfg.Obs is set, each experiment runs against its own
 // sub-registry (so its Manifest snapshot covers that run alone) and the
@@ -319,6 +403,9 @@ func RunExperiments(cfg Config, ids ...string) ([]Result, error) {
 // results (results already streamed through OnResult, and their metrics
 // already merged into cfg.Obs, stand).
 func RunExperimentsContext(ctx context.Context, cfg Config, ids ...string) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	exps := Experiments()
 	if len(ids) > 0 {
 		byID := make(map[string]Experiment, len(exps))

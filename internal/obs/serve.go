@@ -102,11 +102,19 @@ const shutdownGrace = 2 * time.Second
 // endpoints until ctx is canceled. It returns as soon as the listener
 // is bound; the resolved address is Server.Addr.
 func Serve(ctx context.Context, addr string, opts ServeOptions) (*Server, error) {
+	return ServeHandler(ctx, addr, Handler(opts))
+}
+
+// ServeHandler is Serve with a caller-built handler: the same bind /
+// context-cancellation / bounded-drain lifecycle, but serving h instead
+// of the stock telemetry mux. internal/serve mounts its campaign API on
+// top of Handler's endpoints through this.
+func ServeHandler(ctx context.Context, addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	hs := &http.Server{Handler: Handler(opts)}
+	hs := &http.Server{Handler: h}
 	s := &Server{Addr: ln.Addr().String(), done: make(chan struct{})}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -1,0 +1,81 @@
+package fivegsim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fivegsim/internal/obs"
+)
+
+// ResultSchemaV1 is the identifier carried in the "schema" field of
+// every JSON-encoded Result. The encoding is the stable wire contract
+// shared by fgserve responses, the fgserve event stream and
+// `fgbench -results`: explicit field names, Err flattened to a plain
+// string, the run manifest embedded as its own object. New fields may
+// be added within v1; renaming or retyping an existing field bumps the
+// version. The shape is pinned by the golden-file test in
+// resultjson_test.go.
+const ResultSchemaV1 = "fivegsim.result/v1"
+
+// resultV1 is the wire shape of a Result. Result itself keeps Go-side
+// niceties (a real error in Err); this struct is what crosses process
+// boundaries.
+type resultV1 struct {
+	Schema   string             `json:"schema"`
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	Lines    []string           `json:"lines,omitempty"`
+	Values   map[string]float64 `json:"values,omitempty"`
+	Err      string             `json:"error,omitempty"`
+	Manifest *obs.RunManifest   `json:"manifest,omitempty"`
+}
+
+// MarshalJSON encodes the result in the versioned v1 wire shape.
+func (r Result) MarshalJSON() ([]byte, error) {
+	v := resultV1{
+		Schema: ResultSchemaV1,
+		ID:     r.ID,
+		Title:  r.Title,
+		Lines:  r.Lines,
+		Values: r.Values,
+	}
+	if r.Err != nil {
+		v.Err = r.Err.Error()
+	}
+	if r.Manifest.ExperimentID != "" || r.Manifest.Version != "" {
+		m := r.Manifest
+		v.Manifest = &m
+	}
+	return json.Marshal(v)
+}
+
+// ResultError is the flattened form a decoded Result carries in Err:
+// the remote error's message, with the original type (and errors.Is
+// identity) lost at the process boundary. Matching decoded errors means
+// matching strings — that is the price of a stable wire format.
+type ResultError string
+
+// Error returns the flattened message.
+func (e ResultError) Error() string { return string(e) }
+
+// UnmarshalJSON decodes the v1 wire shape. A document whose schema
+// field names anything other than v1 (or is absent, for tolerance of
+// hand-written fixtures) is rejected, so a future v2 reader/writer skew
+// fails loudly instead of dropping fields silently.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var v resultV1
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	if v.Schema != "" && v.Schema != ResultSchemaV1 {
+		return fmt.Errorf("fivegsim: unknown result schema %q (want %s)", v.Schema, ResultSchemaV1)
+	}
+	*r = Result{ID: v.ID, Title: v.Title, Lines: v.Lines, Values: v.Values}
+	if v.Err != "" {
+		r.Err = ResultError(v.Err)
+	}
+	if v.Manifest != nil {
+		r.Manifest = *v.Manifest
+	}
+	return nil
+}

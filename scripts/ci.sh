@@ -66,6 +66,48 @@ fi
 trap - EXIT
 echo "live telemetry serves pop_/des_ series and shuts down clean"
 
+echo "== campaign service smoke (fgserve: submit -> stream -> /metrics -> SIGINT) =="
+# Start the campaign service on an ephemeral port, submit a quick spec
+# with the experiments listed OUT of paper order, and require: a live
+# serve_ series in /metrics while the campaign runs, streamed results
+# re-ordered to paper order (T1 before F4), a terminal done status, and
+# a clean drain on SIGINT.
+go build -o /tmp/fgserve_ci ./cmd/fgserve
+/tmp/fgserve_ci -addr 127.0.0.1:0 >/tmp/fgserve_ci.log 2>&1 &
+FGSERVE_PID=$!
+trap 'kill "$FGSERVE_PID" 2>/dev/null || true' EXIT
+ADDR=""
+for _ in $(seq 1 50); do
+	ADDR=$(sed -n 's|.*serving campaigns on http://\([^ ]*\).*|\1|p' /tmp/fgserve_ci.log)
+	[ -n "$ADDR" ] && break
+	sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "fgserve never bound an address" >&2; cat /tmp/fgserve_ci.log >&2; exit 1; }
+CID=$(curl -fsS -X POST "http://$ADDR/campaigns" \
+	-d '{"schema":"fgserve.spec/v1","name":"ci smoke","experiments":["F4","T1"],"seeds":[7],"quick":true}' \
+	| sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$CID" ] || { echo "campaign submit failed" >&2; cat /tmp/fgserve_ci.log >&2; exit 1; }
+curl -fsS "http://$ADDR/metrics" > /tmp/fgserve_metrics.txt
+grep -q '^serve_campaigns_submitted 1' /tmp/fgserve_metrics.txt || {
+	echo "no live serve_ series in /metrics" >&2; cat /tmp/fgserve_metrics.txt >&2; exit 1; }
+ORDER=$(curl -fsS --max-time 120 "http://$ADDR/campaigns/$CID/stream" \
+	| sed -n 's|.*"kind":"result".*"result":{"schema":"fivegsim.result/v1","id":"\([A-Z0-9]*\)".*|\1|p' \
+	| paste -sd, -)
+[ "$ORDER" = "T1,F4" ] || { echo "streamed results '$ORDER', want paper order T1,F4" >&2; exit 1; }
+curl -fsS "http://$ADDR/campaigns/$CID" | grep -q '"state":"done"' || {
+	echo "campaign never reached done" >&2; exit 1; }
+curl -fsS "http://$ADDR/metrics" | grep -q '^serve_units_completed 2' || {
+	echo "serve_units_completed never reached 2" >&2; exit 1; }
+kill -INT "$FGSERVE_PID"
+if ! wait "$FGSERVE_PID"; then
+	echo "fgserve did not exit cleanly on SIGINT" >&2
+	cat /tmp/fgserve_ci.log >&2
+	exit 1
+fi
+grep -q 'drained clean' /tmp/fgserve_ci.log || { echo "fgserve never drained clean" >&2; cat /tmp/fgserve_ci.log >&2; exit 1; }
+trap - EXIT
+echo "campaign service streams paper-order results and drains clean"
+
 echo "== bench smoke (quick hot-path benches vs checked-in baseline) =="
 go run ./cmd/fgperf bench -quick -out /tmp/fgperf_current.json -compare BENCH_8.json -threshold 0.15
 

@@ -52,16 +52,16 @@ serve-test:
 
 # Scheduler/telemetry overhead benches plus the per-figure benches, then
 # the fgperf harness regenerating the checked-in regression baseline
-# (BENCH_8.json; includes the campaign-scale benches, so this is slow).
+# (BENCH_10.json; includes the campaign-scale benches, so this is slow).
 bench:
 	$(GO) test -run xxx -bench=BenchmarkSchedulerObs -benchtime=2s .
 	$(GO) test -run xxx -bench=. -benchmem .
-	$(GO) run ./cmd/fgperf bench -out BENCH_8.json
+	$(GO) run ./cmd/fgperf bench -out BENCH_10.json
 
 # The quick fgperf subset gated against the checked-in baseline — the
 # same check CI's bench-smoke step runs.
 bench-smoke:
-	$(GO) run ./cmd/fgperf bench -quick -compare BENCH_8.json
+	$(GO) run ./cmd/fgperf bench -quick -compare BENCH_10.json
 
 # Serial vs parallel wall-clock of the full quick campaign.
 bench-workers:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"regexp"
 
 	"fivegsim/internal/perf"
 )
@@ -13,16 +14,27 @@ import (
 // optionally write the JSON report, and optionally gate against a prior
 // report, exiting nonzero on regression.
 //
-//	fgperf bench -quick -out BENCH_8.json
-//	fgperf bench -quick -compare BENCH_8.json -threshold 0.15
+//	fgperf bench -quick -out BENCH_10.json
+//	fgperf bench -quick -compare BENCH_10.json -threshold 0.15
+//	fgperf bench -filter '^Survey' -compare BENCH_10.json
 func benchMain(args []string) {
 	fs := flag.NewFlagSet("fgperf bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "run only the cheap benchmark subset (CI smoke)")
+	filter := fs.String("filter", "", "run only benchmarks matching this regexp")
 	out := fs.String("out", "", "write the JSON report to this path")
 	compare := fs.String("compare", "", "gate against this baseline report")
 	threshold := fs.Float64("threshold", 0.15, "ns/op regression gate (fraction over baseline)")
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	fs.Parse(args)
+
+	var match func(string) bool
+	if *filter != "" {
+		re, err := regexp.Compile(*filter)
+		if err != nil {
+			log.Fatalf("fgperf bench: bad -filter: %v", err)
+		}
+		match = re.MatchString
+	}
 
 	if *list {
 		for _, sp := range perf.Specs() {
@@ -35,7 +47,7 @@ func benchMain(args []string) {
 		return
 	}
 
-	results := perf.Run(*quick, func(name string) {
+	results := perf.Run(*quick, match, func(name string) {
 		fmt.Fprintf(os.Stderr, "bench %s...\n", name)
 	})
 	report := perf.Report{Schema: 1, Host: perf.CurrentHost(), Benchmarks: results}

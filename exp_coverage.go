@@ -84,7 +84,7 @@ func runFig2(cfg Config) Result {
 	if cfg.Quick {
 		resolution = 60
 	}
-	grid := coverage.GridMap(c, radio.NR, resolution)
+	grid := coverage.GridMapWorkers(c, radio.NR, resolution, cfg.Workers)
 	usable, holes := 0, 0
 	for _, row := range grid {
 		for _, g := range row {

@@ -52,16 +52,10 @@ func Run(c *deploy.Campus, n int, seed int64) *Survey {
 // across up to workers goroutines (0 = GOMAXPROCS). Each shard draws
 // from its own substream keyed by the shard index and writes its own
 // sample slots, so the survey is bit-identical for every worker count.
+// Callers that re-survey repeatedly should hold a Surveyor instead —
+// this one-shot form builds one and runs it once.
 func RunParallel(c *deploy.Campus, n int, seed int64, workers int) *Survey {
-	src := rng.New(seed)
-	s := &Survey{Campus: c, Samples: make([]Sample, n)}
-	par.Do(workers, par.ShardSize(n, surveyShardSize), func(sh par.Range) {
-		r := src.Shard("coverage.survey", sh.Index)
-		for i := sh.Lo; i < sh.Hi; i++ {
-			s.Samples[i] = drawSample(c, r)
-		}
-	})
-	return s
+	return NewSurveyor(c, n, seed).Run(workers)
 }
 
 // drawSample picks one outdoor survey location on r and measures both
@@ -190,9 +184,23 @@ type GridCell struct {
 }
 
 // GridMap rasterizes best-server coverage over the campus at the given
-// resolution (meters per pixel). Bit-rate assumes a full PRB grant, like
-// the paper's locked single-UE measurements.
+// resolution (meters per pixel), serially. Bit-rate assumes a full PRB
+// grant, like the paper's locked single-UE measurements.
 func GridMap(c *deploy.Campus, t radio.Tech, resolution float64) [][]GridCell {
+	return GridMapWorkers(c, t, resolution, 1)
+}
+
+// gridShardRows is the number of raster rows per shard. Fixed row tiles
+// keep the shard layout a pure function of the grid height, per the
+// internal/par contract (though the raster draws no randomness, so any
+// tiling would be worker-invariant anyway).
+const gridShardRows = 4
+
+// GridMapWorkers is GridMap with the raster rows tiled across up to
+// workers goroutines (0 = GOMAXPROCS). Every pixel is a pure function
+// of its coordinates and each shard writes only its own rows, so the
+// map is identical for every worker count.
+func GridMapWorkers(c *deploy.Campus, t radio.Tech, resolution float64, workers int) [][]GridCell {
 	band := radio.BandNR()
 	if t == radio.LTE {
 		band = radio.BandLTE()
@@ -200,21 +208,24 @@ func GridMap(c *deploy.Campus, t radio.Tech, resolution float64) [][]GridCell {
 	nx := int(c.Bounds.Width()/resolution) + 1
 	ny := int(c.Bounds.Height()/resolution) + 1
 	grid := make([][]GridCell, ny)
-	for j := 0; j < ny; j++ {
-		grid[j] = make([]GridCell, nx)
-		for i := 0; i < nx; i++ {
-			p := geom.Point{X: (float64(i) + 0.5) * resolution, Y: (float64(j) + 0.5) * resolution}
-			gc := GridCell{Center: p, RSRPdBm: math.Inf(-1), Indoor: c.Indoor(p)}
-			if m, ok := c.BestServer(t, p); ok {
-				gc.RSRPdBm = m.RSRPdBm
-				gc.ServingPCI = m.PCI
-				if m.Usable() {
-					gc.BitRateBps = radio.DLBitRate(m, band, band.PRBs)
+	par.Do(workers, par.ShardSize(ny, gridShardRows), func(sh par.Range) {
+		for j := sh.Lo; j < sh.Hi; j++ {
+			row := make([]GridCell, nx)
+			for i := 0; i < nx; i++ {
+				p := geom.Point{X: (float64(i) + 0.5) * resolution, Y: (float64(j) + 0.5) * resolution}
+				gc := GridCell{Center: p, RSRPdBm: math.Inf(-1), Indoor: c.Indoor(p)}
+				if m, ok := c.BestServer(t, p); ok {
+					gc.RSRPdBm = m.RSRPdBm
+					gc.ServingPCI = m.PCI
+					if m.Usable() {
+						gc.BitRateBps = radio.DLBitRate(m, band, band.PRBs)
+					}
 				}
+				row[i] = gc
 			}
-			grid[j][i] = gc
+			grid[j] = row
 		}
-	}
+	})
 	return grid
 }
 

@@ -53,6 +53,14 @@ type Campus struct {
 	// Buckets fill lazily as BestServer queries touch them.
 	nrField  *fieldMap
 	lteField *fieldMap
+
+	// Batched structure-of-arrays evaluation kernels over the cell lists
+	// (see batch.go), plus the identity shortlists the all-cells paths
+	// index them with.
+	nrBatch  *radio.CellBatch
+	lteBatch *radio.CellBatch
+	nrAll    []int32
+	lteAll   []int32
 }
 
 // siteSpec describes one deterministic site position and its sector plan.
@@ -172,6 +180,10 @@ func New(seed int64) *Campus {
 		c.NRSites[i].CoSitedWith = i // first six eNBs share the gNB poles
 		c.LTESites[i].CoSitedWith = i
 	}
+	c.nrBatch = radio.NewCellBatch(c.NRCells)
+	c.lteBatch = radio.NewCellBatch(c.LTECells)
+	c.nrAll = identityIdx(len(c.NRCells))
+	c.lteAll = identityIdx(len(c.LTECells))
 	c.nrField = newFieldMap(c, radio.NR)
 	c.lteField = newFieldMap(c, radio.LTE)
 	return c
@@ -268,9 +280,11 @@ func (c *Campus) RSRPAt(cell *radio.Cell, p geom.Point) float64 {
 }
 
 // MeasureAll returns the KPI samples for every cell of a technology at p,
-// strongest first, with inter-cell interference applied.
+// strongest first, with inter-cell interference applied. Hot callers use
+// MeasureAllInto (batch.go) with a retained buffer; this convenience
+// wrapper allocates the result slice.
 func (c *Campus) MeasureAll(t radio.Tech, p geom.Point) []radio.Measurement {
-	return c.measure(c.Cells(t), p)
+	return c.MeasureAllInto(t, p, make([]radio.Measurement, 0, len(c.Cells(t))))
 }
 
 // MeasureAvailable is MeasureAll restricted to cells for which down
@@ -282,16 +296,23 @@ func (c *Campus) MeasureAvailable(t radio.Tech, p geom.Point, down func(pci int)
 		return c.MeasureAll(t, p)
 	}
 	all := c.Cells(t)
+	if len(all) <= batchMax {
+		return c.MeasureAvailableInto(t, p, down, make([]radio.Measurement, 0, len(all)))
+	}
 	live := make([]*radio.Cell, 0, len(all))
 	for _, cell := range all {
 		if !down(cell.PCI) {
 			live = append(live, cell)
 		}
 	}
-	return c.measure(live, p)
+	return c.measureScalar(live, p)
 }
 
-func (c *Campus) measure(cells []*radio.Cell, p geom.Point) []radio.Measurement {
+// measureScalar is the per-call reference implementation the batched
+// kernels are held to (and the fallback for cell sets larger than the
+// fixed batch scratch): one Campus.RSRPAt per cell, one MeasureCell per
+// serving candidate, sorted strongest-first.
+func (c *Campus) measureScalar(cells []*radio.Cell, p geom.Point) []radio.Measurement {
 	rsrps := make([]float64, len(cells))
 	terms := make([]radio.InterferenceTerm, len(cells))
 	for i, cell := range cells {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"fivegsim/internal/geom"
+	"fivegsim/internal/par"
 	"fivegsim/internal/radio"
 )
 
@@ -12,6 +13,10 @@ import (
 // partitioned into fmBucketM-sized squares, each holding the shortlist of
 // cells that can plausibly win best-server anywhere inside it. BestServer
 // then evaluates a handful of candidates instead of every cell.
+//
+// Shortlists are stored as batch indices (int32 into the technology's
+// radio.CellBatch), so a bucket feeds the batched kernels directly: one
+// lookup yields the exact slice RSRPInto/TermsMwInto iterate.
 //
 // A bucket's shortlist is every cell that comes within fmMarginDB of the
 // strongest cell at any of a 5×5 grid of probe points over the bucket.
@@ -30,7 +35,7 @@ type fieldMap struct {
 	campus *Campus
 	tech   radio.Tech
 	nx, ny int
-	bucket []atomic.Pointer[[]*radio.Cell]
+	bucket []atomic.Pointer[[]int32]
 }
 
 const (
@@ -49,13 +54,14 @@ func newFieldMap(c *Campus, tech radio.Tech) *fieldMap {
 		nx:     int(c.Bounds.Width()/fmBucketM) + 1,
 		ny:     int(c.Bounds.Height()/fmBucketM) + 1,
 	}
-	f.bucket = make([]atomic.Pointer[[]*radio.Cell], f.nx*f.ny)
+	f.bucket = make([]atomic.Pointer[[]int32], f.nx*f.ny)
 	return f
 }
 
-// candidates returns the shortlist covering p, or nil when p lies outside
-// the bucketed area (callers fall back to the exhaustive scan).
-func (f *fieldMap) candidates(p geom.Point) []*radio.Cell {
+// candidates returns the shortlist covering p as batch indices, or nil
+// when p lies outside the bucketed area (callers fall back to the
+// exhaustive scan).
+func (f *fieldMap) candidates(p geom.Point) []int32 {
 	bx := int(p.X / fmBucketM)
 	by := int(p.Y / fmBucketM)
 	if p.X < 0 || p.Y < 0 || bx >= f.nx || by >= f.ny {
@@ -72,11 +78,18 @@ func (f *fieldMap) candidates(p geom.Point) []*radio.Cell {
 
 // build probes a 5×5 grid over bucket (bx, by) — edges and corners
 // included, since queries land there too — and admits every cell within
-// fmMarginDB of the strongest at any probe.
-func (f *fieldMap) build(bx, by int) []*radio.Cell {
-	cells := f.campus.Cells(f.tech)
-	keep := make([]bool, len(cells))
-	rsrp := make([]float64, len(cells))
+// fmMarginDB of the strongest at any probe. The per-probe RSRP column
+// comes from the batched kernel (bit-identical to the scalar chain, so
+// shortlists are unchanged by the batch rewrite).
+func (f *fieldMap) build(bx, by int) []int32 {
+	c := f.campus
+	b := c.batchFor(f.tech)
+	all := c.allIdx(f.tech)
+	n := len(all)
+	keep := make([]bool, n)
+	rsrp := make([]float64, n)
+	walls := make([]int32, n)
+	shadow := make([]float64, n)
 	offsets := [5]float64{0, 0.25, 0.5, 0.75, 1}
 	for _, oy := range offsets {
 		for _, ox := range offsets {
@@ -84,44 +97,61 @@ func (f *fieldMap) build(bx, by int) []*radio.Cell {
 				X: (float64(bx) + ox) * fmBucketM,
 				Y: (float64(by) + oy) * fmBucketM,
 			}
+			if n <= batchMax {
+				c.rsrpBatch(b, all, p, walls, shadow, rsrp)
+			} else {
+				for i := 0; i < n; i++ {
+					rsrp[i] = c.RSRPAt(b.Cell(i), p)
+				}
+			}
 			best := math.Inf(-1)
-			for i, cell := range cells {
-				rsrp[i] = f.campus.RSRPAt(cell, p)
+			for i := 0; i < n; i++ {
 				if rsrp[i] > best {
 					best = rsrp[i]
 				}
 			}
-			for i := range cells {
+			for i := 0; i < n; i++ {
 				if rsrp[i] >= best-fmMarginDB {
 					keep[i] = true
 				}
 			}
 		}
 	}
-	out := make([]*radio.Cell, 0, 4)
+	out := make([]int32, 0, 4)
 	for i, k := range keep {
 		if k {
-			out = append(out, cells[i])
+			out = append(out, int32(i))
 		}
 	}
 	return out
 }
 
 // WarmFieldMaps builds every field-map bucket of both technologies up
-// front. Population ticks query BestServer for every UE, so pre-warming
-// turns the lazy per-bucket builds into a one-time cost and leaves the
-// steady-state tick allocation-free (the PopTick benches and the
-// internal/pop alloc guards rely on this).
-func (c *Campus) WarmFieldMaps() {
+// front, serially. Population ticks query BestServer for every UE, so
+// pre-warming turns the lazy per-bucket builds into a one-time cost and
+// leaves the steady-state tick allocation-free (the PopTick benches and
+// the internal/pop alloc guards rely on this).
+func (c *Campus) WarmFieldMaps() { c.WarmFieldMapsParallel(1) }
+
+// WarmFieldMapsParallel is WarmFieldMaps sharded over bucket rows across
+// up to workers goroutines (the par.Workers convention: 0 = GOMAXPROCS).
+// Builds are pure functions of (seed, geometry) published through atomic
+// pointers, so any interleaving yields the same shortlists; workers is a
+// pure throughput knob.
+func (c *Campus) WarmFieldMapsParallel(workers int) {
 	for _, f := range []*fieldMap{c.nrField, c.lteField} {
 		if f == nil {
 			continue
 		}
-		for by := 0; by < f.ny; by++ {
-			for bx := 0; bx < f.nx; bx++ {
-				f.candidates(geom.Point{X: (float64(bx) + 0.5) * fmBucketM, Y: (float64(by) + 0.5) * fmBucketM})
+		f := f
+		par.Do(workers, par.ShardSize(f.ny, 4), func(sh par.Range) {
+			for by := sh.Lo; by < sh.Hi; by++ {
+				y := (float64(by) + 0.5) * fmBucketM
+				for bx := 0; bx < f.nx; bx++ {
+					f.candidates(geom.Point{X: (float64(bx) + 0.5) * fmBucketM, Y: y})
+				}
 			}
-		}
+		})
 	}
 }
 
@@ -134,10 +164,11 @@ func (c *Campus) fieldFor(t radio.Tech) *fieldMap {
 
 // BestServer returns the strongest cell's measurement at p, or ok=false if
 // the technology has no cells. It resolves the winner over the cached
-// field-map shortlist — exact RSRP, evaluated for 2–4 candidates instead
-// of every cell — and computes the KPI sample against the shortlist's
-// interference terms. Cells excluded from the shortlist sit ≥14 dB below
-// the winner, so their interference contribution is negligible.
+// field-map shortlist — exact RSRP from the batched kernel, evaluated for
+// 2–4 candidates instead of every cell — and computes the KPI sample
+// against the shortlist's interference terms. Cells excluded from the
+// shortlist sit ≥14 dB below the winner, so their interference
+// contribution is negligible.
 func (c *Campus) BestServer(t radio.Tech, p geom.Point) (radio.Measurement, bool) {
 	f := c.fieldFor(t)
 	if f == nil {
@@ -152,27 +183,30 @@ func (c *Campus) BestServer(t radio.Tech, p geom.Point) (radio.Measurement, bool
 	}
 	// Fixed-capacity scratch keeps the per-query path allocation-free
 	// (the LTE layer tops out at 34 cells).
-	var rsrpArr [40]float64
-	var termArr [40]radio.InterferenceTerm
 	n := len(cand)
-	if n > len(rsrpArr) {
+	if n > batchMax {
 		return c.BestServerExhaustive(t, p)
 	}
-	rsrps := rsrpArr[:n]
-	terms := termArr[:n]
-	bestI := 0
-	for i, cell := range cand {
-		rsrps[i] = c.RSRPAt(cell, p)
-		// Same tie-break as MeasureAll's sort: equal RSRP goes to the
+	b := c.batchFor(t)
+	var wallsArr [batchMax]int32
+	var shadowArr, rsrpArr, termArr [batchMax]float64
+	walls := wallsArr[:n]
+	shadow := shadowArr[:n]
+	rsrp := rsrpArr[:n]
+	termMw := termArr[:n]
+	c.rsrpBatch(b, cand, p, walls, shadow, rsrp)
+	bestK := 0
+	for k := 1; k < n; k++ {
+		// Same tie-break as MeasureAll's ordering: equal RSRP goes to the
 		// lower PCI (shortlists are PCI-ordered only within a site, so
 		// compare explicitly).
-		if rsrps[i] > rsrps[bestI] ||
-			(rsrps[i] == rsrps[bestI] && cell.PCI < cand[bestI].PCI) {
-			bestI = i
+		if rsrp[k] > rsrp[bestK] ||
+			(rsrp[k] == rsrp[bestK] && b.PCI(int(cand[k])) < b.PCI(int(cand[bestK]))) {
+			bestK = k
 		}
-		terms[i] = radio.InterferenceTerm{PCI: cell.PCI, RSRPdBm: rsrps[i], Load: cell.Load}
 	}
-	return radio.MeasureCell(cand[bestI], p, rsrps[bestI], terms), true
+	b.TermsMwInto(termMw, cand, rsrp)
+	return b.MeasureOne(cand, rsrp, termMw, bestK, p), true
 }
 
 // MeasureServing measures one specific cell (by PCI) at p against the
@@ -184,11 +218,11 @@ func (c *Campus) BestServer(t radio.Tech, p geom.Point) (radio.Measurement, bool
 // local best — radio-link failure territory for any serving relation).
 func (c *Campus) MeasureServing(t radio.Tech, p geom.Point, pci int) (radio.Measurement, bool) {
 	f := c.fieldFor(t)
-	var cand []*radio.Cell
+	var cand []int32
 	if f != nil {
 		cand = f.candidates(p)
 	}
-	if cand == nil {
+	if cand == nil || len(cand) == 0 || len(cand) > batchMax {
 		// Outside the bucketed area (or no field map): exhaustive scan.
 		for _, m := range c.MeasureAll(t, p) {
 			if m.PCI == pci {
@@ -197,31 +231,27 @@ func (c *Campus) MeasureServing(t radio.Tech, p geom.Point, pci int) (radio.Meas
 		}
 		return radio.Measurement{}, false
 	}
-	var rsrpArr [40]float64
-	var termArr [40]radio.InterferenceTerm
 	n := len(cand)
-	if n == 0 || n > len(rsrpArr) {
-		for _, m := range c.MeasureAll(t, p) {
-			if m.PCI == pci {
-				return m, true
-			}
-		}
-		return radio.Measurement{}, false
-	}
-	rsrps := rsrpArr[:n]
-	terms := termArr[:n]
+	b := c.batchFor(t)
 	at := -1
-	for i, cell := range cand {
-		rsrps[i] = c.RSRPAt(cell, p)
-		terms[i] = radio.InterferenceTerm{PCI: cell.PCI, RSRPdBm: rsrps[i], Load: cell.Load}
-		if cell.PCI == pci {
-			at = i
+	for k := 0; k < n; k++ {
+		if b.PCI(int(cand[k])) == pci {
+			at = k
+			break
 		}
 	}
 	if at < 0 {
 		return radio.Measurement{}, false
 	}
-	return radio.MeasureCell(cand[at], p, rsrps[at], terms), true
+	var wallsArr [batchMax]int32
+	var shadowArr, rsrpArr, termArr [batchMax]float64
+	walls := wallsArr[:n]
+	shadow := shadowArr[:n]
+	rsrp := rsrpArr[:n]
+	termMw := termArr[:n]
+	c.rsrpBatch(b, cand, p, walls, shadow, rsrp)
+	b.TermsMwInto(termMw, cand, rsrp)
+	return b.MeasureOne(cand, rsrp, termMw, at, p), true
 }
 
 // BestServerExhaustive is the reference implementation of BestServer: a

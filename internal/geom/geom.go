@@ -107,7 +107,20 @@ func (r Rect) Intersects(s Segment) bool {
 // A segment passing clean through a building crosses 2 walls; one ending
 // inside crosses 1. Touching a corner counts once per edge touched, which
 // is adequate for attenuation modelling.
+//
+// A bounding-box rejection runs first: any intersection point lies on the
+// segment (so inside its bounding box) and on a rectangle edge (so inside
+// the rectangle), hence a segment whose box misses the rectangle crosses
+// nothing. The comparisons are inclusive, so touching contacts — which
+// SegmentsIntersect counts — are never culled, and the count is exactly
+// that of the edge-by-edge scan. This test sits under every RSRP
+// evaluation (one per building per cell), where most buildings are
+// nowhere near the site–receiver segment.
 func (r Rect) CrossingCount(s Segment) int {
+	if math.Max(s.A.X, s.B.X) < r.Min.X || math.Min(s.A.X, s.B.X) > r.Max.X ||
+		math.Max(s.A.Y, s.B.Y) < r.Min.Y || math.Min(s.A.Y, s.B.Y) > r.Max.Y {
+		return 0
+	}
 	n := 0
 	for _, e := range r.edges() {
 		if SegmentsIntersect(s, e) {

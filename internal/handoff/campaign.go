@@ -138,6 +138,13 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 
 	noise := func() float64 { return noiseRng.NormFloat64() * cfg.NoiseStdDB }
 
+	// Walker-owned measurement buffers: the per-tick measurements and the
+	// rarer post-hand-off re-measurements append into these instead of
+	// allocating fresh slices ~20 times per simulated second.
+	nrBuf := make([]radio.Measurement, 0, 40)
+	lteBuf := make([]radio.Measurement, 0, 40)
+	hoBuf := make([]radio.Measurement, 0, 40)
+
 	for now := time.Duration(0); now < cfg.Duration; now += cfg.SampleInterval {
 		// Move.
 		step := speed * cfg.SampleInterval.Seconds()
@@ -151,8 +158,9 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 			pos = pos.Add(dir.Scale(step / norm))
 		}
 
-		nr := measureLive(campus, radio.NR, pos, cfg.CellDown, now)
-		lte := measureLive(campus, radio.LTE, pos, cfg.CellDown, now)
+		nr := measureLive(campus, radio.NR, pos, cfg.CellDown, now, nrBuf[:0])
+		lte := measureLive(campus, radio.LTE, pos, cfg.CellDown, now, lteBuf[:0])
+		nrBuf, lteBuf = nr[:0], lte[:0]
 		if st.ltePCI < 0 {
 			// Initial attach (first tick only): camp on the strongest
 			// cells without recording hand-off events.
@@ -206,7 +214,7 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 				nrTracker.Observe(nrServRSRQ, nrBestRSRQ, cfg.SampleInterval) {
 				from, to := st.nrPCI, nrBest.PCI
 				executeHO(FiveToFive, from, to, nrServRSRQ, func() float64 {
-					m := campus.MeasureAll(radio.NR, pos)
+					m := campus.MeasureAllInto(radio.NR, pos, hoBuf[:0])
 					serv, _ := pick(m, to)
 					return serv.RSRQdB + noise()
 				})
@@ -222,7 +230,7 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 			if nrBelowFor >= 500*time.Millisecond {
 				from := st.nrPCI
 				executeHO(FiveToFour, from, st.ltePCI, nrServRSRQ, func() float64 {
-					m := campus.MeasureAll(radio.LTE, pos)
+					m := campus.MeasureAllInto(radio.LTE, pos, hoBuf[:0])
 					serv, _ := pick(m, st.ltePCI)
 					return serv.RSRQdB + noise()
 				})
@@ -241,7 +249,7 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 			if nrAboveFor >= 500*time.Millisecond {
 				to := nr[0].PCI
 				executeHO(FourToFive, st.ltePCI, to, lteServRSRQ, func() float64 {
-					m := campus.MeasureAll(radio.NR, pos)
+					m := campus.MeasureAllInto(radio.NR, pos, hoBuf[:0])
 					serv, _ := pick(m, to)
 					return serv.RSRQdB + noise()
 				})
@@ -255,7 +263,7 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 			lteTracker.Observe(lteServRSRQ, lteBestRSRQ, cfg.SampleInterval) {
 			from, to := st.ltePCI, lteBest.PCI
 			executeHO(FourToFour, from, to, lteServRSRQ, func() float64 {
-				m := campus.MeasureAll(radio.LTE, pos)
+				m := campus.MeasureAllInto(radio.LTE, pos, hoBuf[:0])
 				serv, _ := pick(m, to)
 				return serv.RSRQdB + noise()
 			})
@@ -276,13 +284,13 @@ func RunCampaign(campus *deploy.Campus, cfg Config, seed int64) *Campaign {
 // cell of a technology be down, a single dead sentinel (unusable, far
 // below every trigger threshold) keeps the serving-cell bookkeeping
 // well-defined.
-func measureLive(campus *deploy.Campus, t radio.Tech, pos geom.Point, down func(int, time.Duration) bool, at time.Duration) []radio.Measurement {
+func measureLive(campus *deploy.Campus, t radio.Tech, pos geom.Point, down func(int, time.Duration) bool, at time.Duration, buf []radio.Measurement) []radio.Measurement {
 	if down == nil {
-		return campus.MeasureAll(t, pos)
+		return campus.MeasureAllInto(t, pos, buf)
 	}
-	ms := campus.MeasureAvailable(t, pos, func(pci int) bool { return down(pci, at) })
+	ms := campus.MeasureAvailableInto(t, pos, func(pci int) bool { return down(pci, at) }, buf)
 	if len(ms) == 0 {
-		ms = []radio.Measurement{{PCI: -1, Tech: t, RSRPdBm: -200, RSRQdB: -40, SINRdB: -30}}
+		ms = append(ms, radio.Measurement{PCI: -1, Tech: t, RSRPdBm: -200, RSRQdB: -40, SINRdB: -30})
 	}
 	return ms
 }
@@ -386,6 +394,7 @@ func CaseStudy(campus *deploy.Campus, seed int64) (series []CaseStudySample, hoI
 	serving := 226
 	hoIndex = -1
 	const ticks = 150
+	nrBuf := make([]radio.Measurement, 0, 40)
 	for i := 0; i <= ticks; i++ {
 		p := from.Lerp(to, float64(i)/ticks)
 		sample := CaseStudySample{
@@ -395,7 +404,7 @@ func CaseStudy(campus *deploy.Campus, seed int64) (series []CaseStudySample, hoI
 		}
 		var servRSRQ, bestRSRQ float64
 		bestPCI := serving
-		nr := campus.MeasureAll(radio.NR, p)
+		nr := campus.MeasureAllInto(radio.NR, p, nrBuf[:0])
 		for _, m := range nr {
 			for _, pci := range tracked {
 				if m.PCI == pci {

@@ -43,15 +43,45 @@ func TestCompareNsGateOnlyOnMatchingHost(t *testing.T) {
 	}
 }
 
-func TestCompareMissingBenchmarksWarn(t *testing.T) {
+// A measured benchmark absent from the baseline is a hard failure (an
+// ungated bench must force a baseline regeneration); a baseline entry
+// that was not measured stays advisory, since -quick and -filter runs
+// are routine.
+func TestCompareMissingBenchmarks(t *testing.T) {
 	h := Host{GOOS: "linux", GOARCH: "amd64"}
 	baseline := report(h, 100, 0)
 	current := Report{Schema: 1, Host: h, Benchmarks: []Result{
 		{Name: "Survey", NsPerOp: 50},
 	}}
 	c := Compare(baseline, current, 0.15)
-	if len(c.Failures) != 0 || len(c.Warnings) != 2 {
-		t.Fatalf("want two warnings (one unmatched each way), got %+v", c)
+	if len(c.Failures) != 1 || !strings.Contains(c.Failures[0], "not in baseline") {
+		t.Fatalf("current-not-in-baseline must hard-fail, got %+v", c)
+	}
+	if len(c.Warnings) != 1 || !strings.Contains(c.Warnings[0], "not measured") {
+		t.Fatalf("baseline-not-measured must stay a warning, got %+v", c)
+	}
+}
+
+// The per-benchmark tolerance map tightens the gate below the CLI
+// threshold for the steady-state benches, and never loosens it.
+func TestCompareTighterTolerance(t *testing.T) {
+	h := Host{GOOS: "linux", GOARCH: "amd64", CPU: "x", NumCPU: 8}
+	mk := func(ns int64) Report {
+		return Report{Schema: 1, Host: h, Benchmarks: []Result{
+			{Name: "Survey", N: 100, NsPerOp: ns},
+		}}
+	}
+	// +12% trips Survey's 10% override even though the CLI threshold is 15%.
+	if c := Compare(mk(100), mk(112), 0.15); len(c.Failures) != 1 {
+		t.Fatalf("+12%% must trip the 10%% Survey ratchet, got %+v", c)
+	}
+	// +8% passes both.
+	if c := Compare(mk(100), mk(108), 0.15); len(c.Failures) != 0 {
+		t.Fatalf("+8%% must pass, got %+v", c)
+	}
+	// A CLI threshold below the override wins: 5% gate fails +8%.
+	if c := Compare(mk(100), mk(108), 0.05); len(c.Failures) != 1 {
+		t.Fatalf("override must not loosen a tighter CLI threshold, got %+v", c)
 	}
 }
 

@@ -94,6 +94,16 @@ func MeasureCell(serving *Cell, p geom.Point, servingRSRP float64, interference 
 		}
 		interf += dbmToMw(it.RSRPdBm) * clamp01(it.Load)
 	}
+	return measureFrom(serving, p, servingRSRP, sig, interf, noise)
+}
+
+// measureFrom finishes a measurement from linear-domain powers (mW per
+// RE): the serving signal, the summed load-scaled interference, and the
+// thermal noise. Both the scalar MeasureCell and the batched
+// CellBatch.MeasureOne funnel through this one KPI chain, which is what
+// makes their bit-for-bit equivalence a structural property rather than
+// a duplicated formula.
+func measureFrom(serving *Cell, p geom.Point, servingRSRP, sig, interf, noise float64) Measurement {
 	sinr := 10 * math.Log10(sig/(interf+noise))
 	// RSRQ is reported against the wideband RSSI, which includes the
 	// serving cell's own fully-loaded data REs (the −10.8 dB floor of an

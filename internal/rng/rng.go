@@ -25,6 +25,14 @@ func (s *Source) Seed() int64 { return s.seed }
 
 // Stream returns the deterministic sub-stream for name.
 func (s *Source) Stream(name string) *rand.Rand {
+	return rand.New(rand.NewSource(s.StreamSeed(name)))
+}
+
+// StreamSeed returns the seed Stream(name) plants in its generator.
+// Callers that keep long-lived *rand.Rand values and reseed them per run
+// (hot loops where Stream's two allocations per call would show up) get
+// the exact draw sequences Stream would produce.
+func (s *Source) StreamSeed(name string) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := 0; i < 8; i++ {
@@ -32,7 +40,7 @@ func (s *Source) Stream(name string) *rand.Rand {
 	}
 	h.Write(buf[:])
 	h.Write([]byte(name))
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	return int64(h.Sum64())
 }
 
 // Shard returns the deterministic sub-stream for one shard of a named
@@ -41,6 +49,12 @@ func (s *Source) Stream(name string) *rand.Rand {
 // contract keys exactly one Shard stream per par.Range.Index.
 func (s *Source) Shard(name string, index int) *rand.Rand {
 	return s.Stream(name + "#" + strconv.Itoa(index))
+}
+
+// ShardSeed is StreamSeed for Shard(name, index): the seed to plant in a
+// preallocated generator so it replays that shard's sub-stream.
+func (s *Source) ShardSeed(name string, index int) int64 {
+	return s.StreamSeed(name + "#" + strconv.Itoa(index))
 }
 
 // Key is the precomputed hash of (seed, name): an allocation-free handle
@@ -54,14 +68,7 @@ type Key uint64
 // Key derives the handle for name, using the same FNV-1a keying as
 // Stream (hash of the little-endian seed bytes followed by the name).
 func (s *Source) Key(name string) Key {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(s.seed) >> (8 * i))
-	}
-	h.Write(buf[:])
-	h.Write([]byte(name))
-	return Key(h.Sum64())
+	return Key(uint64(s.StreamSeed(name)))
 }
 
 // At mixes the key with a shard index and a tick number into a seed,
